@@ -1,0 +1,49 @@
+"""Ablation: the drive's sequential read-ahead cache on vs off.
+
+SPIFFI lays fragments out contiguously, so back-to-back reads of one
+stream on one disk hit a read-ahead context and skip the seek and
+rotational latency.  Disabling the 8-context cache shows how much of
+the server's capacity that mechanical saving buys.
+"""
+
+import dataclasses
+
+from repro.core.system import run_simulation
+from repro.experiments.presets import elevator_bundle, paper_config
+from repro.experiments.report import format_table, publish
+
+
+def run_ablation():
+    rows = []
+    load = 220
+    for label, contexts in (("8 contexts (Table 1)", 8), ("cache disabled", 0)):
+        base = paper_config(terminals=load, **elevator_bundle())
+        drive = dataclasses.replace(base.drive, cache_contexts=contexts)
+        metrics = run_simulation(base.replace(drive=drive))
+        rows.append(
+            (
+                label,
+                metrics.glitches,
+                round(metrics.mean_response_time_s * 1000, 1),
+                round(metrics.disk_utilization_mean, 2),
+            )
+        )
+    return rows
+
+
+def test_ablation_diskcache(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    publish(
+        "ablation_diskcache",
+        format_table(
+            ("drive cache", "glitches", "mean resp ms", "disk util"),
+            rows,
+            title="Ablation: drive read-ahead cache (220 terminals, elevator)",
+        ),
+    )
+    with_cache, without = rows
+    # Removing the cache costs mechanical time on every read: response
+    # time and/or glitches must not improve (with slack for single-
+    # glitch noise near the knee).
+    assert without[1] >= with_cache[1] - 2
+    assert without[3] >= with_cache[3] - 0.02

@@ -1,0 +1,57 @@
+"""Ablation: prefetch aggressiveness (processes per disk and depth).
+
+§5.2.3: "the non-real-time disk scheduling algorithms are hurt by
+aggressive prefetching ... the real-time disk scheduling algorithm can
+identify and skip prefetches if necessary and, therefore, benefits from
+aggressive prefetching."
+"""
+
+import dataclasses
+
+from repro.core.system import run_simulation
+from repro.experiments.presets import elevator_bundle, paper_config, realtime_bundle
+from repro.experiments.report import format_table, publish
+from repro.prefetch import PrefetchSpec
+
+
+def run_ablation():
+    rows = []
+    load = 220
+    variants = (
+        ("elevator / 1 proc, depth 1", elevator_bundle(), dict()),
+        ("elevator / 4 procs, depth 4",
+         elevator_bundle(), dict(processes_per_disk=4, depth=4)),
+        ("real-time / 1 proc, depth 1",
+         realtime_bundle(), dict(processes_per_disk=1, depth=1)),
+        ("real-time / 4 procs, depth 3", realtime_bundle(), dict()),
+    )
+    for label, bundle, prefetch_overrides in variants:
+        config = paper_config(terminals=load, **bundle)
+        if prefetch_overrides:
+            config = config.replace(
+                prefetch=dataclasses.replace(config.prefetch, **prefetch_overrides)
+            )
+        metrics = run_simulation(config)
+        rows.append(
+            (
+                label,
+                metrics.glitches,
+                round(metrics.buffer_hit_rate, 2),
+                metrics.wasted_prefetches,
+                round(metrics.mean_response_time_s * 1000, 1),
+            )
+        )
+    return rows
+
+
+def test_ablation_prefetch_procs(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    publish(
+        "ablation_prefetch_procs",
+        format_table(
+            ("configuration", "glitches", "hit rate", "wasted", "mean resp ms"),
+            rows,
+            title="Ablation: prefetch aggressiveness (220 terminals, 4GB)",
+        ),
+    )
+    assert len(rows) == 4

@@ -1,0 +1,51 @@
+"""Ablation: real-time scheduler priority classes and spacing.
+
+§7.2: "we explored a wide variety of settings for these parameters and
+found that regardless of how they were set there was little variation
+in the performance of the system."  This bench sweeps both knobs and
+checks that claim against our implementation.
+"""
+
+from repro.core.system import run_simulation
+from repro.experiments.presets import paper_config, realtime_bundle
+from repro.experiments.report import format_table, publish
+
+
+def run_ablation():
+    rows = []
+    load = 220
+    for classes in (2, 3, 5):
+        for spacing in (2.0, 4.0, 8.0):
+            config = paper_config(
+                terminals=load,
+                **realtime_bundle(
+                    priority_classes=classes, priority_spacing_s=spacing
+                ),
+            )
+            metrics = run_simulation(config)
+            rows.append(
+                (
+                    classes,
+                    f"{spacing:g}s",
+                    metrics.glitches,
+                    round(metrics.mean_response_time_s * 1000, 1),
+                    round(metrics.disk_utilization_mean, 2),
+                )
+            )
+    return rows
+
+
+def test_ablation_priority_params(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    publish(
+        "ablation_priority_params",
+        format_table(
+            ("classes", "spacing", "glitches", "mean resp ms", "disk util"),
+            rows,
+            title="Ablation: real-time priority classes x spacing (220 terminals)",
+        ),
+    )
+    glitch_counts = [row[2] for row in rows]
+    # The paper found little sensitivity; all settings should stay in
+    # the same regime (either all near-zero or all overloaded).
+    assert max(glitch_counts) - min(glitch_counts) < 200

@@ -1,0 +1,16 @@
+"""Figure 8: the Zipfian access-frequency distribution (analytic)."""
+
+from repro.experiments.figures import fig08_zipf
+from repro.experiments.report import publish
+
+
+def test_fig08_zipf(benchmark):
+    result = benchmark.pedantic(fig08_zipf, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    z10 = result.column("z=1.0")
+    z15 = result.column("z=1.5")
+    uniform = result.column("uniform")
+    # Paper shape: skewed curves start high and fall with rank; the
+    # steeper z concentrates more mass on rank 1.
+    assert z10[0] > z10[-1]
+    assert z15[0] > z10[0] > uniform[0]

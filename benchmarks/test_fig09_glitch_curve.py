@@ -1,0 +1,15 @@
+"""Figure 9: glitches vs terminal count — the max-terminals procedure."""
+
+from repro.experiments.figures import fig09_glitch_curve
+from repro.experiments.report import publish
+
+
+def test_fig09_glitch_curve(benchmark):
+    result = benchmark.pedantic(fig09_glitch_curve, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    glitches = result.column("glitches")
+    # Paper shape: zero glitches at light load, non-zero past the knee,
+    # and growing rapidly beyond it.
+    assert glitches[0] == 0
+    assert glitches[-1] > 0
+    assert glitches[-1] >= glitches[-2]

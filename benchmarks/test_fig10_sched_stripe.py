@@ -1,0 +1,24 @@
+"""Figure 10: disk scheduling algorithms across stripe sizes."""
+
+from repro.experiments.figures import fig10_sched_stripe
+from repro.experiments.report import publish
+
+
+def test_fig10_sched_stripe(benchmark):
+    result = benchmark.pedantic(fig10_sched_stripe, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    # Paper shape: round-robin never beats elevator where seeks matter
+    # (at 1024 KB stripes everything converges — two terminal slots —
+    # so that row is excluded).
+    for row_index in range(len(result.rows)):
+        if result.cell(row_index, "stripe KB") >= 1024:
+            continue
+        elevator = result.cell(row_index, "elevator")
+        round_robin = result.cell(row_index, "round-robin")
+        assert round_robin <= elevator
+    # The best configuration in the paper is 512 KB stripes.
+    stripes = result.column("stripe KB")
+    best_by_stripe = [
+        max(row[1:]) for row in result.rows
+    ]
+    assert best_by_stripe[stripes.index(512)] == max(best_by_stripe)

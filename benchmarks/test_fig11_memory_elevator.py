@@ -1,0 +1,18 @@
+"""Figure 11: server memory requirements under elevator scheduling."""
+
+from repro.experiments.figures import fig11_memory_elevator
+from repro.experiments.report import publish
+
+
+def test_fig11_memory_elevator(benchmark):
+    result = benchmark.pedantic(fig11_memory_elevator, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    lru = result.column("global LRU")
+    love = result.column("love prefetch")
+    # Paper shape: love prefetch keeps working at the smallest memory
+    # (no worse than global LRU there), and both converge with plenty
+    # of memory.
+    assert love[0] >= lru[0]
+    assert love[0] >= 0.75 * love[-1]
+    # Global LRU degrades at the smallest memory sizes.
+    assert lru[0] < lru[-1]

@@ -1,0 +1,18 @@
+"""Figure 12: server memory requirements under real-time scheduling."""
+
+from repro.experiments.figures import fig12_memory_realtime
+from repro.experiments.report import publish
+
+
+def test_fig12_memory_realtime(benchmark):
+    result = benchmark.pedantic(fig12_memory_realtime, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    lru = result.column("global LRU")
+    love = result.column("love prefetch")
+    delayed8 = result.column("love + delayed 8s")
+    # Paper shape: with aggressive real-time prefetching, global LRU is
+    # the worst policy at reduced memory; love+delayed(8s) holds up at
+    # small memory.
+    assert lru[0] <= love[0]
+    assert lru[0] <= delayed8[0]
+    assert delayed8[1] >= 0.8 * delayed8[-1]

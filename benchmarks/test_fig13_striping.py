@@ -1,0 +1,18 @@
+"""Figure 13: striped vs non-striped video layouts."""
+
+from repro.experiments.figures import fig13_striping
+from repro.experiments.report import publish
+
+
+def test_fig13_striping(benchmark):
+    result = benchmark.pedantic(fig13_striping, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    # Paper shape: striping wins overwhelmingly at every memory size,
+    # and the non-striped Zipf case is the worst of all (hot disks).
+    for row_index in range(len(result.rows)):
+        striped_zipf = result.cell(row_index, "striped/zipf")
+        non_zipf = result.cell(row_index, "non-striped/zipf")
+        non_uniform = result.cell(row_index, "non-striped/uniform")
+        assert striped_zipf > 2.5 * non_zipf
+        assert striped_zipf > 1.25 * non_uniform
+        assert non_zipf <= non_uniform

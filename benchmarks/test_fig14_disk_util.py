@@ -1,0 +1,15 @@
+"""Figure 14: average disk utilization, striped vs non-striped."""
+
+from repro.experiments.figures import fig14_disk_utilization
+from repro.experiments.report import publish
+
+
+def test_fig14_disk_util(benchmark):
+    result = benchmark.pedantic(fig14_disk_utilization, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    utils = dict(zip(result.column("layout/access"), result.column("mean util")))
+    # Paper shape: fully striped utilization approaches 100%; the
+    # non-striped layouts leave disks badly underutilised (<~50%).
+    assert utils["striped/zipf"] > 0.8
+    assert utils["non-striped/zipf"] < 0.55
+    assert utils["non-striped/uniform"] < 0.75

@@ -1,0 +1,20 @@
+"""Figure 15: movie access frequencies vs server memory."""
+
+from repro.experiments.figures import fig15_access_frequencies
+from repro.experiments.report import publish
+
+
+def test_fig15_access_freq(benchmark):
+    result = benchmark.pedantic(fig15_access_frequencies, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    # Paper shape: with little memory the curves coincide; with plenty
+    # of memory the more-skewed distributions support at least as many
+    # terminals (shared pages).
+    uniform = result.column("uniform")
+    steep = result.column("zipf z=1.5")
+    assert steep[-1] >= uniform[-1]
+    low_memory_spread = max(
+        result.rows[0][1:]
+    ) - min(result.rows[0][1:])
+    granularity = max(10, result.rows[0][1] // 10)
+    assert low_memory_spread <= 4 * granularity

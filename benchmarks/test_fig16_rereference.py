@@ -1,0 +1,15 @@
+"""Figure 16: % of buffer references previously referenced by another
+terminal, vs memory and access skew."""
+
+from repro.experiments.figures import fig16_rereference_rate
+from repro.experiments.report import publish
+
+
+def test_fig16_rereference(benchmark):
+    result = benchmark.pedantic(fig16_rereference_rate, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    # Paper shape: more skew → more cross-terminal re-references, and
+    # the effect grows with memory.
+    last = len(result.rows) - 1
+    assert result.cell(last, "zipf z=1.5") > result.cell(last, "uniform")
+    assert result.cell(last, "zipf z=1.0") >= result.cell(0, "zipf z=1.0")

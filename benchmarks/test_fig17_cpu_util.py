@@ -1,0 +1,14 @@
+"""Figure 17: CPU utilization under scaleup (4 CPUs throughout)."""
+
+from repro.experiments.figures import fig17_cpu_utilization
+from repro.experiments.report import publish
+
+
+def test_fig17_cpu_util(benchmark):
+    result = benchmark.pedantic(fig17_cpu_utilization, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    cpu = result.column("cpu util")
+    # Paper shape: CPU utilization grows with scale but "is not a
+    # performance factor even with 16 disks per node".
+    assert cpu == sorted(cpu)
+    assert cpu[-1] < 0.5

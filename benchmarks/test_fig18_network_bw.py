@@ -1,0 +1,16 @@
+"""Figure 18: peak aggregate network bandwidth requirements."""
+
+from repro.experiments.figures import fig18_network_bandwidth
+from repro.experiments.report import publish
+
+
+def test_fig18_network_bw(benchmark):
+    result = benchmark.pedantic(fig18_network_bandwidth, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    peaks = result.column("peak MB/s")
+    per_terminal = result.column("Mbit/s per terminal")
+    # Paper shape: peak bandwidth grows with scale; per-terminal demand
+    # stays near the 4 Mbit/s compressed video rate.
+    assert peaks == sorted(peaks)
+    for rate in per_terminal:
+        assert 3.0 <= rate <= 8.0

@@ -1,0 +1,15 @@
+"""Figure 19: the effect of viewers pausing (§8.1)."""
+
+from repro.experiments.figures import fig19_pause
+from repro.experiments.report import publish
+
+
+def test_fig19_pause(benchmark):
+    result = benchmark.pedantic(fig19_pause, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    baseline = result.cell(0, "max terminals")
+    with_pauses = result.cell(1, "max terminals")
+    # Paper shape: "performance is essentially unaffected by the
+    # pausing" — within ~10% either way (paused viewers consume no
+    # bandwidth, so pausing can even help slightly).
+    assert with_pauses >= 0.9 * baseline

@@ -1,0 +1,20 @@
+"""Table 2: scaleup to 2x and 4x the disks, videos, and memory."""
+
+from repro.experiments.report import publish
+from repro.experiments.tables import table2_scaleup
+
+
+def test_table2_scaleup(benchmark):
+    result = benchmark.pedantic(table2_scaleup, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    # Paper shape: every configuration grows substantially when scaled;
+    # the real-time configuration scales at least as well as the
+    # equivalent elevator configuration (rows 3 and 4 share memory and
+    # terminal memory).
+    for row in result.rows:
+        base, x2, x4 = row[2], row[4], row[7]
+        assert x2 > base
+        assert x4 > x2
+    elevator_512 = result.rows[2]
+    realtime_512 = result.rows[3]
+    assert realtime_512[7] >= 0.9 * elevator_512[7]

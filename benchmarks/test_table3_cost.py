@@ -1,0 +1,18 @@
+"""Table 3: disk cost per terminal for three 64-video servers."""
+
+from repro.experiments.report import publish
+from repro.experiments.tables import table3_disk_cost
+
+
+def test_table3_cost(benchmark):
+    result = benchmark.pedantic(table3_disk_cost, rounds=1, iterations=1)
+    publish(result.name, result.table())
+    terminals = result.column("terminals")
+    costs = [
+        float(value.replace("$", "").replace(",", ""))
+        for value in result.column("cost/terminal")
+    ]
+    # Paper shape: more, smaller disks support more terminals at lower
+    # cost per terminal even though their cost per Mbyte is higher.
+    assert terminals == sorted(terminals)
+    assert costs[-1] < costs[0]

@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable even without installation.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+installs, which is unavailable in offline environments; this fallback
+makes ``pytest`` work straight from a checkout either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

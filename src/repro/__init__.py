@@ -1,0 +1,32 @@
+"""repro — a from-scratch reproduction of the SPIFFI scalable
+video-on-demand system (Freedman & DeWitt, SIGMOD 1995).
+
+Quickstart::
+
+    from repro import SpiffiConfig, run_simulation
+
+    metrics = run_simulation(SpiffiConfig(terminals=40, measure_s=60.0,
+                                          video_length_s=300.0))
+    print(metrics.summary())
+"""
+
+from repro.core import GB, KB, MB, RunMetrics, SpiffiConfig, SpiffiSystem, run_simulation
+from repro.prefetch import PrefetchSpec
+from repro.sched import SchedulerSpec
+from repro.terminal import PauseModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "PauseModel",
+    "PrefetchSpec",
+    "RunMetrics",
+    "SchedulerSpec",
+    "SpiffiConfig",
+    "SpiffiSystem",
+    "run_simulation",
+    "__version__",
+]

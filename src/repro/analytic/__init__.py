@@ -1,0 +1,29 @@
+"""Analytical capacity and memory models (the §4 foil to simulation)."""
+
+from repro.analytic.capacity import (
+    CapacityEstimates,
+    StreamParameters,
+    average_case_streams_per_disk,
+    estimate_capacity,
+    scan_streams_per_disk,
+    worst_case_streams_per_disk,
+)
+from repro.analytic.memory import (
+    MemoryEstimate,
+    caching_pays_for_video,
+    five_minute_rule_break_even,
+    predicted_memory_demand,
+)
+
+__all__ = [
+    "CapacityEstimates",
+    "MemoryEstimate",
+    "StreamParameters",
+    "average_case_streams_per_disk",
+    "caching_pays_for_video",
+    "estimate_capacity",
+    "five_minute_rule_break_even",
+    "predicted_memory_demand",
+    "scan_streams_per_disk",
+    "worst_case_streams_per_disk",
+]

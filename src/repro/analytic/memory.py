@@ -1,0 +1,88 @@
+"""Analytical server-memory models.
+
+Closed-form companions to the §7.3 simulations: how much buffer memory
+a server needs as a function of prefetch policy, plus the paper's §7.6
+argument that there is **no five-minute rule for video servers** —
+caching video for reuse never pays, so memory should be the minimum
+that keeps prefetching effective.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analytic.capacity import StreamParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryEstimate:
+    """Predicted aggregate buffer-pool demand, in bytes."""
+
+    transient_bytes: int   # pages pinned by in-flight reads and replies
+    prefetched_bytes: int  # pages holding prefetched-but-unused blocks
+    total_bytes: int
+
+
+def predicted_memory_demand(
+    streams: int,
+    disks: int,
+    stream: StreamParameters,
+    prefetch_depth: int = 1,
+    max_advance_s: float | None = None,
+) -> MemoryEstimate:
+    """Aggregate memory demand of *streams* active streams.
+
+    A stream touches each disk every ``disks × block_period`` seconds;
+    a block prefetched on reference of its same-disk predecessor sits
+    in memory for that long.  Depth-``d`` lookahead multiplies the
+    exposure; delayed prefetching caps it at ``max_advance_s`` worth of
+    video per stream.
+    """
+    if streams < 0 or disks < 1:
+        raise ValueError("streams must be >= 0 and disks >= 1")
+    if prefetch_depth < 0:
+        raise ValueError(f"prefetch depth must be >= 0, got {prefetch_depth}")
+    block = stream.block_bytes
+    # One block in flight plus one being shipped, per stream.
+    transient = streams * 2 * block
+    resident_blocks_per_stream = prefetch_depth * disks
+    if max_advance_s is not None:
+        capped = max_advance_s / stream.block_period_s
+        resident_blocks_per_stream = min(resident_blocks_per_stream, capped)
+    prefetched = int(streams * resident_blocks_per_stream * block)
+    return MemoryEstimate(
+        transient_bytes=transient,
+        prefetched_bytes=prefetched,
+        total_bytes=transient + prefetched,
+    )
+
+
+def five_minute_rule_break_even(
+    page_bytes: int,
+    disk_dollars: float,
+    disk_accesses_per_second: float,
+    memory_dollars_per_mb: float,
+) -> float:
+    """Gray's break-even reference interval, in seconds.
+
+    Keeping a page in memory pays when it is re-read more often than
+    every ``(disk $ / accesses-per-s) / (memory $ per page)`` seconds.
+    The paper's point (§7.6): sequential video pages are referenced
+    exactly once per stream, so their re-reference interval is
+    effectively infinite and the rule never favours caching — "it is
+    best to purchase the minimum amount of memory necessary".
+    """
+    if min(page_bytes, disk_dollars, disk_accesses_per_second,
+           memory_dollars_per_mb) <= 0:
+        raise ValueError("all inputs must be positive")
+    dollars_per_access_per_second = disk_dollars / disk_accesses_per_second
+    dollars_per_page = memory_dollars_per_mb * page_bytes / (1024 * 1024)
+    return dollars_per_access_per_second / dollars_per_page
+
+
+def caching_pays_for_video(
+    rereference_interval_s: float,
+    break_even_s: float,
+) -> bool:
+    """Whether caching a video page beats buying more disk."""
+    return rereference_interval_s <= break_even_s

@@ -1,0 +1,19 @@
+"""Server buffer pool: page table, pinning, global LRU and love prefetch."""
+
+from repro.bufferpool.page import Page, PageKey
+from repro.bufferpool.policies import GlobalLru, LovePrefetch, ReplacementPolicy, make_policy
+from repro.bufferpool.pool import HIT, INFLIGHT, MISS, BufferPool, PoolStats
+
+__all__ = [
+    "BufferPool",
+    "GlobalLru",
+    "HIT",
+    "INFLIGHT",
+    "LovePrefetch",
+    "MISS",
+    "Page",
+    "PageKey",
+    "PoolStats",
+    "ReplacementPolicy",
+    "make_policy",
+]

@@ -1,0 +1,121 @@
+"""Page replacement policies: global LRU and love prefetch (§5.2.1)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.bufferpool.page import Page
+
+
+class ReplacementPolicy:
+    """Maintains replacement ordering; the pool owns the page table."""
+
+    name = "base"
+
+    def on_insert(self, page: Page, prefetched: bool) -> None:
+        """A page entered the pool (freshly read or prefetched)."""
+        raise NotImplementedError
+
+    def on_reference(self, page: Page) -> None:
+        """A terminal referenced a resident page."""
+        raise NotImplementedError
+
+    def on_evict(self, page: Page) -> None:
+        """The pool evicted *page*; forget it."""
+        raise NotImplementedError
+
+    def victim(self, exclude_prefetched: bool = False) -> Page | None:
+        """The first evictable page in policy order, or None.
+
+        ``exclude_prefetched`` restricts the choice to pages that are
+        not awaiting their first reference — used by prefetch
+        allocations, which must never cannibalise other prefetched
+        data (doing so only converts one wasted I/O into another).
+        """
+        raise NotImplementedError
+
+
+class GlobalLru(ReplacementPolicy):
+    """A single LRU queue that does not distinguish prefetched pages.
+
+    "Simply places newly referenced pages onto the end of a single
+    queue.  When a new page is needed, the buffer pool searches for the
+    first available page starting from the head of the queue."
+    """
+
+    name = "global_lru"
+
+    def __init__(self) -> None:
+        self._queue: OrderedDict[int, Page] = OrderedDict()
+
+    def on_insert(self, page: Page, prefetched: bool) -> None:
+        page.is_prefetched = prefetched
+        self._queue[id(page)] = page
+
+    def on_reference(self, page: Page) -> None:
+        page.is_prefetched = False
+        self._queue.move_to_end(id(page))
+
+    def on_evict(self, page: Page) -> None:
+        del self._queue[id(page)]
+
+    def victim(self, exclude_prefetched: bool = False) -> Page | None:
+        for page in self._queue.values():
+            if page.evictable and not (exclude_prefetched and page.is_prefetched):
+                return page
+        return None
+
+
+class LovePrefetch(ReplacementPolicy):
+    """Two LRU chains favouring prefetched pages over referenced ones.
+
+    Prefetched pages start on the prefetched chain and move to the
+    referenced chain on first reference.  Victims come from the
+    referenced chain first; only when it has no available page is a
+    prefetched page sacrificed — protecting prefetched-but-not-yet-used
+    data, which is the only data in a video server likely to be read
+    from memory at all (§5.2.1, after [Teng84]).
+    """
+
+    name = "love_prefetch"
+
+    def __init__(self) -> None:
+        self._prefetched: OrderedDict[int, Page] = OrderedDict()
+        self._referenced: OrderedDict[int, Page] = OrderedDict()
+
+    def on_insert(self, page: Page, prefetched: bool) -> None:
+        page.is_prefetched = prefetched
+        chain = self._prefetched if prefetched else self._referenced
+        chain[id(page)] = page
+
+    def on_reference(self, page: Page) -> None:
+        if page.is_prefetched:
+            page.is_prefetched = False
+            del self._prefetched[id(page)]
+            self._referenced[id(page)] = page
+        else:
+            self._referenced.move_to_end(id(page))
+
+    def on_evict(self, page: Page) -> None:
+        chain = self._prefetched if page.is_prefetched else self._referenced
+        del chain[id(page)]
+
+    def victim(self, exclude_prefetched: bool = False) -> Page | None:
+        for page in self._referenced.values():
+            if page.evictable:
+                return page
+        if exclude_prefetched:
+            return None
+        for page in self._prefetched.values():
+            if page.evictable:
+                return page
+        return None
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Factory: ``"global_lru"`` or ``"love_prefetch"``."""
+    if name == "global_lru":
+        return GlobalLru()
+    if name == "love_prefetch":
+        return LovePrefetch()
+    raise ValueError(f"unknown replacement policy {name!r}")

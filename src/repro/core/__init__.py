@@ -1,0 +1,16 @@
+"""System assembly: configuration, the simulated system, run metrics."""
+
+from repro.core.config import GB, KB, MB, SpiffiConfig
+from repro.core.metrics import RunMetrics, collect_metrics
+from repro.core.system import SpiffiSystem, run_simulation
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "RunMetrics",
+    "SpiffiConfig",
+    "SpiffiSystem",
+    "collect_metrics",
+    "run_simulation",
+]

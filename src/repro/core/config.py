@@ -1,0 +1,156 @@
+"""Complete simulation configuration (paper Table 1 plus algorithms).
+
+``SpiffiConfig`` captures every hardware parameter from Table 1 and
+every algorithm choice from §5.2 as one immutable value object.  The
+defaults are the paper's base configuration: 4 processors × 4 disks,
+4 one-hour videos per disk, 512 Kbyte stripes, 2 Mbytes per terminal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cpu.costs import CpuParameters
+from repro.netsim.bus import NetworkParameters
+from repro.prefetch.spec import PrefetchSpec
+from repro.sched.registry import SchedulerSpec
+from repro.server.admission import AdmissionSpec
+from repro.storage.drive import DriveParameters
+from repro.terminal.pauses import PauseModel
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+LAYOUTS = ("striped", "nonstriped")
+REPLACEMENT_POLICIES = ("global_lru", "love_prefetch")
+ACCESS_MODELS = ("zipf", "uniform")
+
+
+@dataclasses.dataclass(frozen=True)
+class SpiffiConfig:
+    # --- hardware shape -------------------------------------------------
+    nodes: int = 4
+    disks_per_node: int = 4
+    cpu: CpuParameters = dataclasses.field(default_factory=CpuParameters)
+    drive: DriveParameters = dataclasses.field(default_factory=DriveParameters)
+    network: NetworkParameters = dataclasses.field(default_factory=NetworkParameters)
+
+    # --- memory ---------------------------------------------------------
+    server_memory_bytes: int = 4 * GB  # aggregate across nodes
+    terminal_memory_bytes: int = 2 * MB
+
+    # --- videos ---------------------------------------------------------
+    video_bit_rate_bps: float = 4_000_000.0
+    frames_per_second: float = 30.0
+    video_length_s: float = 3600.0
+    videos_per_disk: int = 4
+    #: Ablation: constant per-type frame sizes instead of exponential.
+    mpeg_deterministic_sizes: bool = False
+    #: §8.1: also store a condensed search copy of every title (for
+    #: smooth fast-forward/rewind), covering 1/speedup of the content.
+    #: None stores no search versions.
+    search_version_speedup: int | None = None
+
+    # --- workload --------------------------------------------------------
+    terminals: int = 100
+    access_model: str = "zipf"
+    zipf_skew: float = 1.0
+    pause_model: PauseModel = dataclasses.field(default_factory=PauseModel)
+    piggyback_window_s: float = 0.0
+    admission: AdmissionSpec = dataclasses.field(default_factory=AdmissionSpec)
+
+    # --- algorithms -------------------------------------------------------
+    stripe_bytes: int = 512 * KB
+    layout: str = "striped"
+    replacement_policy: str = "global_lru"
+    scheduler: SchedulerSpec = dataclasses.field(default_factory=SchedulerSpec)
+    prefetch: PrefetchSpec = dataclasses.field(default_factory=PrefetchSpec)
+
+    # --- messaging --------------------------------------------------------
+    control_message_bytes: int = 128
+
+    # --- simulation run ----------------------------------------------------
+    seed: int = 1
+    start_spread_s: float = 30.0  # terminals start at random instants in here
+    warmup_grace_s: float = 30.0  # extra settling time before measurement
+    measure_s: float = 300.0
+    #: Each terminal joins its *first* video at a uniformly random
+    #: position within this leading fraction of the video, so a short
+    #: measurement window observes terminals spread through their
+    #: videos just as a long-running closed system would be.  0 makes
+    #: every terminal start its first video from the beginning.
+    initial_position_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.layout not in LAYOUTS:
+            raise ValueError(f"unknown layout {self.layout!r}; choose from {LAYOUTS}")
+        if self.replacement_policy not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown replacement policy {self.replacement_policy!r}; "
+                f"choose from {REPLACEMENT_POLICIES}"
+            )
+        if self.access_model not in ACCESS_MODELS:
+            raise ValueError(
+                f"unknown access model {self.access_model!r}; choose from {ACCESS_MODELS}"
+            )
+        if self.nodes < 1 or self.disks_per_node < 1:
+            raise ValueError("need at least one node and one disk per node")
+        if self.terminals < 1:
+            raise ValueError(f"need at least one terminal, got {self.terminals}")
+        if self.stripe_bytes <= 0:
+            raise ValueError(f"stripe size must be positive, got {self.stripe_bytes}")
+        if self.terminal_memory_bytes < 2 * self.stripe_bytes:
+            raise ValueError(
+                "terminal memory must hold at least two stripe blocks "
+                f"({self.terminal_memory_bytes} < 2*{self.stripe_bytes})"
+            )
+        if self.pages_per_node < 2:
+            raise ValueError(
+                f"server memory of {self.server_memory_bytes} bytes gives "
+                f"{self.pages_per_node} pages/node; need at least 2"
+            )
+        if self.videos_per_disk < 1:
+            raise ValueError(f"need >= 1 video per disk, got {self.videos_per_disk}")
+        if self.measure_s <= 0:
+            raise ValueError(f"measure_s must be positive, got {self.measure_s}")
+
+    # --- derived quantities --------------------------------------------
+    @property
+    def disk_count(self) -> int:
+        return self.nodes * self.disks_per_node
+
+    @property
+    def video_count(self) -> int:
+        return self.videos_per_disk * self.disk_count
+
+    @property
+    def pages_per_node(self) -> int:
+        return (self.server_memory_bytes // self.nodes) // self.stripe_bytes
+
+    @property
+    def terminal_slots(self) -> int:
+        return self.terminal_memory_bytes // self.stripe_bytes
+
+    @property
+    def warmup_s(self) -> float:
+        return self.start_spread_s + self.warmup_grace_s
+
+    @property
+    def total_sim_time_s(self) -> float:
+        return self.warmup_s + self.measure_s
+
+    def replace(self, **changes) -> "SpiffiConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for reports."""
+        return (
+            f"{self.nodes}x{self.disks_per_node} disks, "
+            f"{self.video_count} videos, {self.terminals} terminals, "
+            f"stripe {self.stripe_bytes // KB}KB, "
+            f"mem {self.server_memory_bytes // MB}MB, "
+            f"{self.scheduler.label()}, {self.replacement_policy}, "
+            f"{self.prefetch.label()}, {self.layout}"
+        )

@@ -1,0 +1,143 @@
+"""Aggregated simulation outputs for one run."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import SpiffiSystem
+
+MB = 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class RunMetrics:
+    """Everything the paper's figures and tables read off a run.
+
+    All values cover only the measurement window (after warmup).
+    """
+
+    terminals: int
+    measure_s: float
+    # Glitch metrics (the primary metric, §7.1).
+    glitches: int
+    glitching_terminals: int
+    mean_glitch_duration_s: float
+    # Device utilizations.
+    disk_utilization_mean: float
+    disk_utilization_min: float
+    disk_utilization_max: float
+    cpu_utilization_mean: float
+    # Network (Figure 18).
+    network_peak_bytes_per_s: float
+    network_mean_bytes_per_s: float
+    # Buffer pool (Figures 11, 12, 16).
+    buffer_references: int
+    buffer_hit_rate: float
+    buffer_inflight_hit_rate: float
+    rereference_rate: float
+    wasted_prefetches: int
+    dropped_prefetches: int
+    allocation_waits: int
+    # Prefetching.
+    prefetches_issued: int
+    prefetches_completed: int
+    # Terminal experience.
+    mean_response_time_s: float
+    max_response_time_s: float
+    deadline_misses: int
+    blocks_delivered: int
+    mean_startup_latency_s: float
+    videos_completed: int
+    pauses_taken: int
+    # Admission control (only non-zero when a policy is enforced).
+    admissions_queued: int
+    admission_mean_wait_s: float
+
+    @property
+    def glitch_free(self) -> bool:
+        return self.glitches == 0
+
+    @property
+    def network_peak_mbytes_per_s(self) -> float:
+        return self.network_peak_bytes_per_s / MB
+
+    def summary(self) -> str:
+        return (
+            f"terminals={self.terminals} glitches={self.glitches} "
+            f"disk_util={self.disk_utilization_mean:.2f} "
+            f"cpu_util={self.cpu_utilization_mean:.2f} "
+            f"hit_rate={self.buffer_hit_rate:.2f} "
+            f"net_peak={self.network_peak_mbytes_per_s:.1f}MB/s"
+        )
+
+
+def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
+    """Read the post-measurement statistics out of a finished system."""
+    terminals = system.terminals
+    pools = [node.pool for node in system.nodes]
+    drives = [drive for node in system.nodes for drive in node.drives]
+    prefetchers = [p for node in system.nodes for p in node.prefetchers]
+    now = system.env.now
+
+    references = sum(pool.stats.references for pool in pools)
+    hits = sum(pool.stats.hits for pool in pools)
+    inflight = sum(pool.stats.inflight_hits for pool in pools)
+    rereferences = sum(pool.stats.rereferences for pool in pools)
+
+    glitch_durations = [
+        terminal.stats.glitch_durations for terminal in terminals
+    ]
+    total_glitch_events = sum(t.count for t in glitch_durations)
+    glitch_time = sum(t.mean * t.count for t in glitch_durations)
+
+    response_counts = sum(t.stats.response_time.count for t in terminals)
+    response_total = sum(
+        t.stats.response_time.mean * t.stats.response_time.count for t in terminals
+    )
+    response_max = max(
+        (t.stats.response_time.maximum for t in terminals if t.stats.response_time.count),
+        default=0.0,
+    )
+    startup_counts = sum(t.stats.startup_latency.count for t in terminals)
+    startup_total = sum(
+        t.stats.startup_latency.mean * t.stats.startup_latency.count for t in terminals
+    )
+    disk_utils = [drive.busy.utilization(now) for drive in drives]
+
+    return RunMetrics(
+        terminals=len(terminals),
+        measure_s=measure_s,
+        glitches=sum(t.stats.glitches for t in terminals),
+        glitching_terminals=sum(1 for t in terminals if t.stats.glitches),
+        mean_glitch_duration_s=(
+            glitch_time / total_glitch_events if total_glitch_events else 0.0
+        ),
+        disk_utilization_mean=sum(disk_utils) / len(disk_utils),
+        disk_utilization_min=min(disk_utils),
+        disk_utilization_max=max(disk_utils),
+        cpu_utilization_mean=(
+            sum(node.cpu.utilization() for node in system.nodes) / len(system.nodes)
+        ),
+        network_peak_bytes_per_s=system.bus.peak_bandwidth,
+        network_mean_bytes_per_s=system.bus.mean_bandwidth(),
+        buffer_references=references,
+        buffer_hit_rate=hits / references if references else 0.0,
+        buffer_inflight_hit_rate=inflight / references if references else 0.0,
+        rereference_rate=rereferences / references if references else 0.0,
+        wasted_prefetches=sum(pool.stats.wasted_prefetches for pool in pools),
+        dropped_prefetches=sum(pool.stats.dropped_prefetches for pool in pools),
+        allocation_waits=sum(pool.stats.allocation_waits for pool in pools),
+        prefetches_issued=sum(p.stats.issued for p in prefetchers),
+        prefetches_completed=sum(p.stats.completed for p in prefetchers),
+        mean_response_time_s=response_total / response_counts if response_counts else 0.0,
+        max_response_time_s=response_max,
+        deadline_misses=sum(t.stats.deadline_misses for t in terminals),
+        blocks_delivered=sum(t.stats.blocks_received for t in terminals),
+        mean_startup_latency_s=startup_total / startup_counts if startup_counts else 0.0,
+        videos_completed=sum(t.stats.videos_completed for t in terminals),
+        pauses_taken=sum(t.stats.pauses_taken for t in terminals),
+        admissions_queued=system.admission.queued,
+        admission_mean_wait_s=system.admission.wait_times.mean,
+    )

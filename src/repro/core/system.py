@@ -1,0 +1,237 @@
+"""Assembly and execution of one complete SPIFFI simulation."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bufferpool.policies import make_policy
+from repro.bufferpool.pool import BufferPool
+from repro.core.config import SpiffiConfig
+from repro.core.metrics import RunMetrics, collect_metrics
+from repro.cpu.processor import Processor
+from repro.layout.nonstriped import NonStripedLayout
+from repro.layout.striped import StripedLayout
+from repro.media.access import make_access_model
+from repro.media.library import VideoLibrary
+from repro.media.mpeg import MpegProfile
+from repro.analytic.capacity import StreamParameters
+from repro.netsim.bus import NetworkBus
+from repro.prefetch.prefetcher import DiskPrefetcher
+from repro.server.admission import AdmissionController
+from repro.server.node import VideoServerNode
+from repro.server.piggyback import PiggybackCoordinator
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.rng import RandomSource
+from repro.storage.drive import DiskDrive
+from repro.storage.geometry import DiskGeometry
+from repro.terminal.terminal import Terminal
+
+
+class ServerFabric(typing.Protocol):  # pragma: no cover - typing helper
+    """What a terminal needs to reach the server side."""
+
+    library: VideoLibrary
+    layout: object
+    bus: NetworkBus
+    block_size: int
+    control_message_bytes: int
+
+    def node(self, index: int) -> VideoServerNode: ...
+
+    def request_start(self, video_id: int) -> Event | None: ...
+
+
+class SpiffiSystem:
+    """One fully wired simulated video-on-demand installation.
+
+    Construction builds every component; :meth:`run` executes the
+    paper's methodology — staggered starts, warmup until all terminals
+    are active, statistics reset, a fixed measurement window, abrupt
+    termination — and returns the collected :class:`RunMetrics`.
+    """
+
+    def __init__(self, config: SpiffiConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        rng = RandomSource(config.seed)
+        self._rng = rng
+
+        profile = MpegProfile(
+            bit_rate_bps=config.video_bit_rate_bps,
+            frames_per_second=config.frames_per_second,
+            deterministic_sizes=config.mpeg_deterministic_sizes,
+        )
+        self.library = VideoLibrary(
+            config.video_count,
+            config.video_length_s,
+            profile,
+            seed=config.seed,
+            search_speedup=config.search_version_speedup,
+        )
+        block_counts = [
+            video.sequence.block_count(config.stripe_bytes) for video in self.library
+        ]
+        if config.layout == "striped":
+            self.layout = StripedLayout(
+                block_counts, config.nodes, config.disks_per_node, config.stripe_bytes
+            )
+        else:
+            self.layout = NonStripedLayout(
+                block_counts,
+                config.nodes,
+                config.disks_per_node,
+                config.stripe_bytes,
+                rng.spawn("layout"),
+            )
+
+        self.bus = NetworkBus(self.env, config.network)
+        self.block_size = config.stripe_bytes
+        self.control_message_bytes = config.control_message_bytes
+        self.piggyback = PiggybackCoordinator(self.env, config.piggyback_window_s)
+        stream = StreamParameters(
+            bit_rate_bps=config.video_bit_rate_bps,
+            block_bytes=config.stripe_bytes,
+        )
+        disk_capacity = max(
+            max(self.layout.disk_used_bytes(d) for d in range(config.disk_count)),
+            config.drive.cylinder_bytes,
+        )
+        self.admission = AdmissionController(
+            self.env,
+            config.admission.stream_limit(
+                config.disk_count, config.drive, stream, disk_capacity
+            ),
+        )
+
+        self.nodes: list[VideoServerNode] = []
+        for node_id in range(config.nodes):
+            cpu = Processor(self.env, config.cpu, node_id)
+            pool = BufferPool(
+                self.env,
+                config.pages_per_node,
+                make_policy(config.replacement_policy),
+                prefetch_pool_share=config.prefetch.pool_share,
+            )
+            drives = []
+            for disk_in_node in range(config.disks_per_node):
+                disk_global = node_id * config.disks_per_node + disk_in_node
+                used = self.layout.disk_used_bytes(disk_global)
+                geometry = DiskGeometry(
+                    config.drive.cylinder_bytes,
+                    max(used, config.drive.cylinder_bytes),
+                )
+                drives.append(
+                    DiskDrive(
+                        self.env,
+                        disk_global,
+                        config.drive,
+                        geometry,
+                        config.scheduler.build(),
+                        rng.spawn(f"disk-{disk_global}"),
+                    )
+                )
+            prefetchers = [
+                DiskPrefetcher(self.env, config.prefetch, drive, pool, cpu, config.cpu)
+                for drive in drives
+            ]
+            self.nodes.append(
+                VideoServerNode(
+                    env=self.env,
+                    node_id=node_id,
+                    cpu=cpu,
+                    cpu_params=config.cpu,
+                    drives=drives,
+                    pool=pool,
+                    bus=self.bus,
+                    library=self.library,
+                    layout=self.layout,
+                    block_size=config.stripe_bytes,
+                    prefetch_spec=config.prefetch,
+                    prefetchers=prefetchers,
+                )
+            )
+
+        access = make_access_model(
+            config.access_model, config.video_count, config.zipf_skew
+        ).bind(rng.spawn("access"))
+        self.terminals = [
+            Terminal(
+                env=self.env,
+                terminal_id=terminal_id,
+                fabric=self,
+                access=access,
+                rng=rng.spawn(f"terminal-{terminal_id}"),
+                memory_bytes=config.terminal_memory_bytes,
+                pause_model=config.pause_model,
+                initial_position_fraction=config.initial_position_fraction,
+            )
+            for terminal_id in range(config.terminals)
+        ]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # ServerFabric interface (used by terminals)
+    # ------------------------------------------------------------------
+    def node(self, index: int) -> VideoServerNode:
+        return self.nodes[index]
+
+    def request_start(self, video_id: int) -> Event | None:
+        return self.piggyback.request_start(video_id)
+
+    def request_admission(self) -> Event:
+        return self.admission.request_slot()
+
+    def release_admission(self) -> None:
+        self.admission.release_slot()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch every terminal at a random instant in the start spread."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        start_rng = self._rng.spawn("starts")
+        for terminal in self.terminals:
+            terminal.start(start_rng.uniform(0.0, self.config.start_spread_s))
+
+    def run(self) -> RunMetrics:
+        """Warm up, measure, and collect (the paper's methodology)."""
+        config = self.config
+        self.start()
+        self.env.run(until=config.warmup_s)
+        self.reset_stats()
+        self.env.run(until=config.warmup_s + config.measure_s)
+        return collect_metrics(self, config.measure_s)
+
+    def reset_stats(self) -> None:
+        """Begin the measurement window: zero every statistic."""
+        for terminal in self.terminals:
+            terminal.reset_stats()
+        for node in self.nodes:
+            node.reset_stats()
+            node.pool.reset_stats()
+            node.cpu.reset_stats()
+            for drive in node.drives:
+                drive.reset_stats()
+            for prefetcher in node.prefetchers:
+                prefetcher.reset_stats()
+        self.bus.reset_stats()
+        self.piggyback.reset_stats()
+        self.admission.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Extra probes used by figures
+    # ------------------------------------------------------------------
+    def disk_utilizations(self) -> list[float]:
+        now = self.env.now
+        return [
+            drive.busy.utilization(now) for node in self.nodes for drive in node.drives
+        ]
+
+
+def run_simulation(config: SpiffiConfig) -> RunMetrics:
+    """Build and run one simulation; the one-call public entry point."""
+    return SpiffiSystem(config).run()

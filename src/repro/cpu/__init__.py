@@ -1,0 +1,6 @@
+"""CPU models: FCFS processors and Table 1 instruction costs."""
+
+from repro.cpu.costs import CpuParameters, InstructionCosts
+from repro.cpu.processor import Processor
+
+__all__ = ["CpuParameters", "InstructionCosts", "Processor"]

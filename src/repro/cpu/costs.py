@@ -1,0 +1,26 @@
+"""CPU instruction costs of I/O and messaging operations (Table 1)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class InstructionCosts:
+    """Instruction counts measured on the Intel Paragon (Table 1)."""
+
+    start_io: int = 20_000
+    send_message: int = 6_800
+    receive_message: int = 2_200
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuParameters:
+    speed_mips: float = 40.0
+    costs: InstructionCosts = dataclasses.field(default_factory=InstructionCosts)
+
+    def seconds(self, instructions: int) -> float:
+        """Wall-clock seconds to execute *instructions*."""
+        if instructions < 0:
+            raise ValueError(f"instructions must be >= 0, got {instructions}")
+        return instructions / (self.speed_mips * 1e6)

@@ -1,0 +1,40 @@
+"""A node CPU: FCFS-scheduled, 40 MIPS (Table 1)."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cpu.costs import CpuParameters
+from repro.sim.environment import Environment
+from repro.sim.resources import Resource
+
+
+class Processor:
+    """One node's CPU, executing bursts FCFS (Table 1: "CPU Scheduling
+    FCFS")."""
+
+    def __init__(self, env: Environment, params: CpuParameters, node: int) -> None:
+        self.env = env
+        self.params = params
+        self.node = node
+        self._resource = Resource(env, capacity=1)
+
+    def execute(self, instructions: int) -> typing.Generator:
+        """Generator (``yield from``): run a burst of instructions."""
+        request = self._resource.request()
+        yield request
+        try:
+            yield self.env.timeout(self.params.seconds(instructions))
+        finally:
+            self._resource.release(request)
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    def utilization(self) -> float:
+        return self._resource.utilization()
+
+    def reset_stats(self) -> None:
+        self._resource.reset_stats()

@@ -1,0 +1,29 @@
+"""Experiment harness: max-terminal search, presets, figure and table
+drivers, and report formatting."""
+
+from repro.experiments.presets import (
+    HINTS,
+    BenchScale,
+    bench_scale,
+    elevator_bundle,
+    paper_config,
+    realtime_bundle,
+)
+from repro.experiments.report import format_table, publish
+from repro.experiments.results import ExperimentResult
+from repro.experiments.search import Probe, SearchResult, find_max_terminals
+
+__all__ = [
+    "BenchScale",
+    "ExperimentResult",
+    "HINTS",
+    "Probe",
+    "SearchResult",
+    "bench_scale",
+    "elevator_bundle",
+    "find_max_terminals",
+    "format_table",
+    "paper_config",
+    "publish",
+    "realtime_bundle",
+]

@@ -1,0 +1,55 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig10 fig11
+    REPRO_BENCH_SCALE=quick python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import figures, tables
+from repro.experiments.report import publish
+
+EXPERIMENTS = {
+    "fig08": figures.fig08_zipf,
+    "fig09": figures.fig09_glitch_curve,
+    "fig10": figures.fig10_sched_stripe,
+    "fig11": figures.fig11_memory_elevator,
+    "fig12": figures.fig12_memory_realtime,
+    "fig13": figures.fig13_striping,
+    "fig14": figures.fig14_disk_utilization,
+    "fig15": figures.fig15_access_frequencies,
+    "fig16": figures.fig16_rereference_rate,
+    "fig17": figures.fig17_cpu_utilization,
+    "fig18": figures.fig18_network_bandwidth,
+    "fig19": figures.fig19_pause,
+    "table2": tables.table2_scaleup,
+    "table3": tables.table3_disk_cost,
+    "sec82": figures.sec82_piggyback,
+}
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("Available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    names = list(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = EXPERIMENTS[name]()
+        publish(result.name, result.table())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,492 @@
+"""Drivers regenerating every figure in the paper's evaluation (§7, §8).
+
+Each ``figNN_*`` function runs the simulations behind one figure and
+returns an :class:`ExperimentResult` holding the same series the paper
+plots.  Absolute numbers depend on the (scaled) measurement windows —
+see EXPERIMENTS.md — but the shapes are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GB, MB, SpiffiConfig
+from repro.core.system import run_simulation
+from repro.experiments.presets import (
+    HINTS,
+    bench_scale,
+    elevator_bundle,
+    paper_config,
+    realtime_bundle,
+)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.search import find_max_terminals
+from repro.media.access import UniformAccess, ZipfianAccess
+from repro.sched.registry import SchedulerSpec
+
+KB = 1024
+
+
+def _search(config: SpiffiConfig, hint: int) -> int:
+    scale = bench_scale()
+    return find_max_terminals(
+        config,
+        hint=hint,
+        granularity=scale.granularity,
+        replications=scale.replications,
+    ).max_terminals
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — the Zipfian access distribution (analytic)
+# ---------------------------------------------------------------------------
+
+def fig08_zipf(video_count: int = 64) -> ExperimentResult:
+    """Access probability by video rank for the paper's z values."""
+    models = [
+        ("uniform", UniformAccess(video_count)),
+        ("z=0.5", ZipfianAccess(video_count, 0.5)),
+        ("z=1.0", ZipfianAccess(video_count, 1.0)),
+        ("z=1.5", ZipfianAccess(video_count, 1.5)),
+    ]
+    ranks = [1, 2, 4, 8, 16, 32, 64]
+    ranks = [rank for rank in ranks if rank <= video_count]
+    headers = ("rank",) + tuple(label for label, _ in models)
+    rows = []
+    for rank in ranks:
+        row = [rank]
+        for _, model in models:
+            row.append(round(model.weights()[rank - 1], 4))
+        rows.append(tuple(row))
+    return ExperimentResult(
+        name="fig08",
+        title=f"Figure 8: Zipfian access frequencies over {video_count} videos",
+        headers=headers,
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — glitches vs terminals (the search procedure, illustrated)
+# ---------------------------------------------------------------------------
+
+def fig09_glitch_curve() -> ExperimentResult:
+    """Glitch count as the number of terminals increases."""
+    scale = bench_scale()
+    base = paper_config(**elevator_bundle())
+    hint = HINTS["elevator_512k_bigmem"]
+    counts = [hint - 60, hint - 30, hint - 10, hint, hint + 10, hint + 30, hint + 60]
+    rows = []
+    for terminals in counts:
+        metrics = run_simulation(base.replace(terminals=terminals))
+        rows.append((terminals, metrics.glitches, metrics.glitching_terminals))
+    return ExperimentResult(
+        name="fig09",
+        title="Figure 9: finding the maximum number of terminals without glitches",
+        headers=("terminals", "glitches", "glitching terminals"),
+        rows=tuple(rows),
+        notes=f"(elevator, 512KB stripes, 4GB server memory; "
+        f"measure window {scale.measure_s:g}s)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — disk scheduling algorithms x stripe sizes
+# ---------------------------------------------------------------------------
+
+#: Rough expected capacity by stripe size, used to seed searches.
+_STRIPE_HINT_FACTOR = {
+    128 * KB: 0.78,
+    256 * KB: 0.90,
+    512 * KB: 1.0,
+    1024 * KB: 0.70,
+}
+
+
+def fig10_sched_stripe() -> ExperimentResult:
+    """Max glitch-free terminals per scheduler per stripe size."""
+    scale = bench_scale()
+    schedulers = [
+        ("elevator", elevator_bundle()),
+        ("GSS (1 group)", dict(
+            scheduler=SchedulerSpec("gss", gss_groups=1),
+            prefetch=elevator_bundle()["prefetch"],
+        )),
+        ("round-robin", dict(
+            scheduler=SchedulerSpec("round_robin"),
+            prefetch=elevator_bundle()["prefetch"],
+        )),
+        ("real-time 2/4s", realtime_bundle(priority_classes=2)),
+        ("real-time 3/4s", realtime_bundle(priority_classes=3)),
+    ]
+    base_hint = HINTS["elevator_512k_bigmem"]
+    headers = ("stripe KB",) + tuple(label for label, _ in schedulers)
+    rows = []
+    for stripe in scale.stripe_points:
+        row = [stripe // KB]
+        for label, bundle in schedulers:
+            hint = int(base_hint * _STRIPE_HINT_FACTOR.get(stripe, 0.8))
+            if label == "round-robin":
+                hint = int(hint * 0.7)
+            config = paper_config(stripe_bytes=stripe, **bundle)
+            row.append(_search(config, hint))
+        rows.append(tuple(row))
+    return ExperimentResult(
+        name="fig10",
+        title="Figure 10: disk scheduling algorithms and stripe sizes "
+        "(max glitch-free terminals)",
+        headers=headers,
+        rows=tuple(rows),
+        notes="(4GB server memory, global LRU, 2MB terminals)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 11/12 — server memory requirements
+# ---------------------------------------------------------------------------
+
+def _memory_sweep(variants, hint_key: str = "lowmem") -> ExperimentResult | tuple:
+    scale = bench_scale()
+    headers = ("server MB",) + tuple(label for label, _ in variants)
+    rows = []
+    hints = {label: HINTS["elevator_512k_bigmem"] for label, _ in variants}
+    for memory in scale.memory_points:
+        row = [memory // MB]
+        for label, overrides in variants:
+            config = paper_config(server_memory_bytes=memory, **overrides)
+            found = _search(config, hints[label])
+            # The capacity at the previous (smaller) memory point is a
+            # good starting hint for the next.
+            hints[label] = max(found, scale.granularity)
+            row.append(found)
+        rows.append(tuple(row))
+    return headers, tuple(rows)
+
+
+def fig11_memory_elevator() -> ExperimentResult:
+    """Global LRU vs love prefetch under elevator scheduling."""
+    bundle = elevator_bundle()
+    variants = [
+        ("global LRU", dict(replacement_policy="global_lru", **bundle)),
+        ("love prefetch", dict(replacement_policy="love_prefetch", **bundle)),
+    ]
+    headers, rows = _memory_sweep(variants)
+    return ExperimentResult(
+        name="fig11",
+        title="Figure 11: reducing server memory requirements "
+        "(elevator disk scheduling; max glitch-free terminals)",
+        headers=headers,
+        rows=rows,
+        notes="(512KB stripes, 2MB terminals)",
+    )
+
+
+def fig12_memory_realtime() -> ExperimentResult:
+    """Replacement/prefetching algorithms under real-time scheduling."""
+    variants = [
+        ("global LRU", dict(
+            replacement_policy="global_lru", **realtime_bundle())),
+        ("love prefetch", dict(
+            replacement_policy="love_prefetch", **realtime_bundle())),
+        ("love + delayed 8s", dict(
+            replacement_policy="love_prefetch",
+            **realtime_bundle(prefetch_mode="delayed", max_advance_s=8.0))),
+        ("love + delayed 4s", dict(
+            replacement_policy="love_prefetch",
+            **realtime_bundle(prefetch_mode="delayed", max_advance_s=4.0))),
+    ]
+    headers, rows = _memory_sweep(variants)
+    return ExperimentResult(
+        name="fig12",
+        title="Figure 12: reducing server memory requirements "
+        "(real-time disk scheduling; max glitch-free terminals)",
+        headers=headers,
+        rows=rows,
+        notes="(512KB stripes, 3 priority classes / 4s spacing, "
+        "aggressive real-time prefetching)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 13/14 — striped vs non-striped layout
+# ---------------------------------------------------------------------------
+
+def fig13_striping() -> ExperimentResult:
+    """Striped vs non-striped layouts under Zipf and uniform access."""
+    scale = bench_scale()
+    bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    variants = [
+        ("striped/zipf", dict(layout="striped", access_model="zipf", **bundle),
+         HINTS["striped"]),
+        ("striped/uniform", dict(layout="striped", access_model="uniform", **bundle),
+         HINTS["striped"]),
+        ("non-striped/zipf", dict(layout="nonstriped", access_model="zipf", **bundle),
+         HINTS["nonstriped_zipf"]),
+        ("non-striped/uniform",
+         dict(layout="nonstriped", access_model="uniform", **bundle),
+         HINTS["nonstriped_uniform"]),
+    ]
+    headers = ("server MB",) + tuple(label for label, _, _ in variants)
+    hints = {label: hint for label, _, hint in variants}
+    rows = []
+    for memory in scale.memory_points:
+        row = [memory // MB]
+        for label, overrides, _ in variants:
+            config = paper_config(server_memory_bytes=memory, **overrides)
+            found = _search(config, hints[label])
+            hints[label] = max(found, scale.granularity)
+            row.append(found)
+        rows.append(tuple(row))
+    return ExperimentResult(
+        name="fig13",
+        title="Figure 13: striped vs non-striped layouts "
+        "(max glitch-free terminals)",
+        headers=headers,
+        rows=tuple(rows),
+        notes="(512KB stripes/reads, love prefetch, elevator)",
+    )
+
+
+def fig14_disk_utilization() -> ExperimentResult:
+    """Average disk utilization at each layout's own maximum load."""
+    bundle = dict(
+        replacement_policy="love_prefetch",
+        server_memory_bytes=512 * MB,
+        **elevator_bundle(),
+    )
+    variants = [
+        ("striped/zipf", dict(layout="striped", access_model="zipf"),
+         HINTS["striped"]),
+        ("non-striped/zipf", dict(layout="nonstriped", access_model="zipf"),
+         HINTS["nonstriped_zipf"]),
+        ("non-striped/uniform", dict(layout="nonstriped", access_model="uniform"),
+         HINTS["nonstriped_uniform"]),
+    ]
+    rows = []
+    for label, overrides, hint in variants:
+        config = paper_config(**bundle, **overrides)
+        capacity = _search(config, hint)
+        at_capacity = run_simulation(config.replace(terminals=max(capacity, 10)))
+        rows.append(
+            (
+                label,
+                max(capacity, 10),
+                round(at_capacity.disk_utilization_mean, 3),
+                round(at_capacity.disk_utilization_min, 3),
+                round(at_capacity.disk_utilization_max, 3),
+            )
+        )
+    return ExperimentResult(
+        name="fig14",
+        title="Figure 14: average disk utilization, striped vs non-striped "
+        "(at each layout's max terminals)",
+        headers=("layout/access", "terminals", "mean util", "min util", "max util"),
+        rows=tuple(rows),
+        notes="(512MB server memory, love prefetch, elevator)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 15/16 — movie access frequencies
+# ---------------------------------------------------------------------------
+
+_ACCESS_VARIANTS = (
+    ("uniform", dict(access_model="uniform")),
+    ("zipf z=0.5", dict(access_model="zipf", zipf_skew=0.5)),
+    ("zipf z=1.0", dict(access_model="zipf", zipf_skew=1.0)),
+    ("zipf z=1.5", dict(access_model="zipf", zipf_skew=1.5)),
+)
+
+
+def fig15_access_frequencies() -> ExperimentResult:
+    """Max terminals vs memory for different access skews."""
+    scale = bench_scale()
+    bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    headers = ("server MB",) + tuple(label for label, _ in _ACCESS_VARIANTS)
+    hints = {label: HINTS["striped"] for label, _ in _ACCESS_VARIANTS}
+    rows = []
+    for memory in scale.memory_points:
+        row = [memory // MB]
+        for label, overrides in _ACCESS_VARIANTS:
+            config = paper_config(
+                server_memory_bytes=memory, **bundle, **overrides
+            )
+            found = _search(config, hints[label])
+            hints[label] = max(found, scale.granularity)
+            row.append(found)
+        rows.append(tuple(row))
+    return ExperimentResult(
+        name="fig15",
+        title="Figure 15: movie access frequencies "
+        "(max glitch-free terminals vs server memory)",
+        headers=headers,
+        rows=rows,
+        notes="(512KB stripes, love prefetch, elevator)",
+    )
+
+
+def fig16_rereference_rate(terminals: int = 150) -> ExperimentResult:
+    """Share of buffer references previously referenced by another
+    terminal, vs memory, per access skew (fixed load)."""
+    scale = bench_scale()
+    bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    headers = ("server MB",) + tuple(label for label, _ in _ACCESS_VARIANTS)
+    rows = []
+    for memory in scale.memory_points:
+        row = [memory // MB]
+        for _, overrides in _ACCESS_VARIANTS:
+            metrics = run_simulation(
+                paper_config(
+                    terminals=terminals,
+                    server_memory_bytes=memory,
+                    **bundle,
+                    **overrides,
+                )
+            )
+            row.append(round(100.0 * metrics.rereference_rate, 1))
+        rows.append(tuple(row))
+    return ExperimentResult(
+        name="fig16",
+        title="Figure 16: % of buffer pool references previously referenced "
+        "by another terminal",
+        headers=headers,
+        rows=tuple(rows),
+        notes=f"(fixed load of {terminals} terminals, love prefetch, elevator)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 17/18 — scaleup utilizations (companions to Table 2)
+# ---------------------------------------------------------------------------
+
+_SCALEUP_POINTS = (
+    (1, HINTS["elevator_512k_bigmem"]),
+    (2, HINTS["scaleup_x2"]),
+    (4, HINTS["scaleup_x4"]),
+)
+
+
+def _scaled_config(factor: int, terminals: int) -> SpiffiConfig:
+    """The paper's scaleup rule: disks, memory, and videos grow with the
+    factor; CPUs stay at 4 (disks_per_node grows)."""
+    return paper_config(
+        disks_per_node=4 * factor,
+        server_memory_bytes=512 * MB * factor,
+        terminals=terminals,
+        replacement_policy="love_prefetch",
+        **realtime_bundle(prefetch_mode="delayed", max_advance_s=8.0),
+    )
+
+
+def fig17_cpu_utilization() -> ExperimentResult:
+    """CPU utilization as the system scales (4 CPUs throughout)."""
+    rows = []
+    for factor, terminals in _SCALEUP_POINTS:
+        metrics = run_simulation(_scaled_config(factor, terminals))
+        rows.append(
+            (
+                16 * factor,
+                terminals,
+                round(metrics.cpu_utilization_mean, 3),
+                round(metrics.disk_utilization_mean, 3),
+            )
+        )
+    return ExperimentResult(
+        name="fig17",
+        title="Figure 17: CPU utilization under scaleup (4 CPUs)",
+        headers=("disks", "terminals", "cpu util", "disk util"),
+        rows=tuple(rows),
+        notes="(real-time scheduling, love prefetch, delayed prefetching 8s)",
+    )
+
+
+def fig18_network_bandwidth() -> ExperimentResult:
+    """Peak aggregate network bandwidth as the system scales."""
+    rows = []
+    for factor, terminals in _SCALEUP_POINTS:
+        metrics = run_simulation(_scaled_config(factor, terminals))
+        per_terminal_mbits = (
+            metrics.network_peak_bytes_per_s * 8 / 1e6 / terminals
+        )
+        rows.append(
+            (
+                16 * factor,
+                terminals,
+                round(metrics.network_peak_mbytes_per_s, 1),
+                round(per_terminal_mbits, 2),
+            )
+        )
+    return ExperimentResult(
+        name="fig18",
+        title="Figure 18: peak aggregate network bandwidth requirements",
+        headers=("disks", "terminals", "peak MB/s", "Mbit/s per terminal"),
+        rows=tuple(rows),
+        notes="(real-time scheduling, love prefetch, delayed prefetching 8s)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 19 — pausing
+# ---------------------------------------------------------------------------
+
+def fig19_pause() -> ExperimentResult:
+    """Effect of viewers pausing twice per video for ~2 minutes."""
+    from repro.terminal.pauses import PauseModel
+
+    bundle = dict(
+        replacement_policy="love_prefetch",
+        server_memory_bytes=512 * MB,
+        **elevator_bundle(),
+    )
+    rows = []
+    for label, model in (
+        ("no pauses", PauseModel(enabled=False)),
+        ("2 pauses x 2min avg", PauseModel(enabled=True, mean_pauses_per_video=2.0,
+                                           mean_pause_duration_s=120.0)),
+    ):
+        config = paper_config(pause_model=model, **bundle)
+        rows.append((label, _search(config, HINTS["striped"])))
+    return ExperimentResult(
+        name="fig19",
+        title="Figure 19: effect of pausing (max glitch-free terminals)",
+        headers=("pause behaviour", "max terminals"),
+        rows=tuple(rows),
+        notes="(512MB server memory, love prefetch, elevator)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# §8.2 — piggybacking
+# ---------------------------------------------------------------------------
+
+def sec82_piggyback(window_s: float | None = None) -> ExperimentResult:
+    """Delayed-start piggybacking of same-video terminals.
+
+    The paper's example delay is 5 minutes; the quick bench scale uses
+    a 2-minute window to bound the (long) warmup these runs need.
+    """
+    scale = bench_scale()
+    if window_s is None:
+        window_s = 120.0 if scale.name == "quick" else 300.0
+    spread = max(window_s * 1.5, scale.start_spread_s)
+    bundle = dict(
+        replacement_policy="love_prefetch",
+        server_memory_bytes=512 * MB,
+        initial_position_fraction=0.0,
+        start_spread_s=spread,
+        **elevator_bundle(),
+    )
+    rows = []
+    for label, window in (("no piggybacking", 0.0), (f"{window_s:g}s delay", window_s)):
+        config = paper_config(**bundle).replace(
+            piggyback_window_s=window,
+            warmup_grace_s=window + scale.warmup_grace_s,
+        )
+        rows.append((label, _search(config, HINTS["striped"])))
+    return ExperimentResult(
+        name="sec82",
+        title="Section 8.2: piggybacking terminals "
+        "(max glitch-free terminals)",
+        headers=("start policy", "max terminals"),
+        rows=tuple(rows),
+        notes="(Zipf z=1; terminals start videos over a "
+        f"{spread:g}s window; 512MB memory, love prefetch, elevator)",
+    )

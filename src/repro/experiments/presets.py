@@ -1,0 +1,166 @@
+"""Experiment presets: paper-scale and bench-scale configurations.
+
+The original simulator needed up to 10 hours per 64-disk run on a
+SPARCstation 10; ours is far faster, but a full max-terminal search per
+figure point still adds up.  The bench harness therefore runs, by
+default, the paper's exact hardware (Table 1) with a shortened
+measurement window and a coarser terminal-count granularity.  Scale is
+selected with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick``   — smallest windows, coarse granularity (smoke-test scale);
+* ``default`` — minutes per figure, paper-shaped results;
+* ``full``    — the paper's measurement windows and 5-terminal
+  granularity (slow; use for final reproduction runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.core.config import GB, MB, SpiffiConfig
+from repro.prefetch.spec import PrefetchSpec
+from repro.sched.registry import SchedulerSpec
+
+SCALES = ("quick", "default", "full")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchScale:
+    name: str
+    measure_s: float
+    start_spread_s: float
+    warmup_grace_s: float
+    granularity: int
+    replications: int
+    #: Memory sweep points (aggregate server bytes) for Figures 11-16.
+    memory_points: tuple[int, ...]
+    #: Stripe-size sweep points (bytes) for Figure 10.
+    stripe_points: tuple[int, ...]
+
+
+_SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        measure_s=20.0,
+        start_spread_s=8.0,
+        warmup_grace_s=8.0,
+        granularity=25,
+        replications=1,
+        memory_points=(128 * MB, 512 * MB, 4 * GB),
+        stripe_points=(256 * 1024, 512 * 1024, 1024 * 1024),
+    ),
+    "default": BenchScale(
+        name="default",
+        measure_s=60.0,
+        start_spread_s=15.0,
+        warmup_grace_s=15.0,
+        granularity=10,
+        replications=1,
+        memory_points=(128 * MB, 256 * MB, 512 * MB, 1 * GB, 2 * GB, 4 * GB),
+        stripe_points=(128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024),
+    ),
+    "full": BenchScale(
+        name="full",
+        measure_s=300.0,
+        start_spread_s=30.0,
+        warmup_grace_s=30.0,
+        granularity=5,
+        replications=2,
+        memory_points=(128 * MB, 256 * MB, 512 * MB, 1 * GB, 2 * GB, 4 * GB),
+        stripe_points=(128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024),
+    ),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active scale, from ``REPRO_BENCH_SCALE`` (default "default")."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r} not recognised; choose from {SCALES}"
+        )
+    return _SCALES[name]
+
+
+def paper_config(**overrides) -> SpiffiConfig:
+    """The paper's base configuration (Table 1) with bench-scale
+    simulation windows applied, overridable per experiment."""
+    scale = bench_scale()
+    defaults = dict(
+        measure_s=scale.measure_s,
+        start_spread_s=scale.start_spread_s,
+        warmup_grace_s=scale.warmup_grace_s,
+    )
+    defaults.update(overrides)
+    return SpiffiConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Canonical algorithm bundles used across the evaluation section
+# ---------------------------------------------------------------------------
+
+def elevator_bundle() -> dict:
+    """Elevator scheduling with the limited prefetching that suits it.
+
+    §5.2.3: non-real-time schedulers are hurt by aggressive prefetching
+    because they cannot distinguish urgent from non-urgent requests, so
+    "prefetching is severely limited" with elevator.
+    """
+    return dict(
+        scheduler=SchedulerSpec("elevator"),
+        prefetch=PrefetchSpec(
+            "standard", processes_per_disk=1, depth=1, pool_share=0.5
+        ),
+    )
+
+
+def realtime_bundle(
+    priority_classes: int = 3,
+    priority_spacing_s: float = 4.0,
+    prefetch_mode: str = "realtime",
+    max_advance_s: float = 8.0,
+) -> dict:
+    """Real-time scheduling with the aggressive prefetching it enables.
+
+    Real-time scheduling "can identify and skip prefetches if necessary
+    and, therefore, benefits from aggressive prefetching"; real-time
+    prefetching "always benefits the real-time disk scheduling algorithm
+    and, therefore, these two algorithms are always used together".
+    """
+    return dict(
+        scheduler=SchedulerSpec(
+            "realtime",
+            priority_classes=priority_classes,
+            priority_spacing_s=priority_spacing_s,
+        ),
+        prefetch=PrefetchSpec(
+            prefetch_mode,
+            processes_per_disk=4,
+            depth=3,
+            max_advance_s=max_advance_s,
+            # "Unconstrained prefetching" (§7.3): the real-time
+            # scheduler can skip prefetches itself, so no pool cap.
+            pool_share=1.0,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Search hints: expected max-terminal neighbourhoods (our calibration,
+# informed by the paper's numbers) used to seed the boundary search.
+# ---------------------------------------------------------------------------
+
+HINTS = {
+    "elevator_512k_bigmem": 240,
+    "elevator_128k": 180,
+    "round_robin": 160,
+    "gss_512k": 240,
+    "realtime_512k_bigmem": 240,
+    "lowmem": 150,
+    "nonstriped_zipf": 40,
+    "nonstriped_uniform": 90,
+    "striped": 220,
+    "scaleup_x2": 480,
+    "scaleup_x4": 950,
+}

@@ -1,0 +1,49 @@
+"""Plain-text tables for experiment results (paper-style rows/series)."""
+
+from __future__ import annotations
+
+import os
+import typing
+
+
+def format_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def line(values: typing.Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def results_dir() -> str:
+    """Directory where benchmark harnesses drop their result tables."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def publish(name: str, text: str) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

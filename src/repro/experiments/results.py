@@ -1,0 +1,33 @@
+"""Structured results of experiment drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.experiments.report import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """One reproduced table or figure, as paper-style text rows."""
+
+    name: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: str = ""
+
+    def table(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n\n" + self.notes
+        return text
+
+    def column(self, header: str) -> list:
+        """All values of one column, by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row: int, header: str) -> typing.Any:
+        return self.rows[row][self.headers.index(header)]

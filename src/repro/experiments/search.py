@@ -1,0 +1,139 @@
+"""The paper's primary methodology: finding the maximum number of
+terminals a configuration supports glitch-free (§7.1, Figure 9).
+
+"This value is obtained by increasing the number of terminals until the
+number of glitches becomes non-zero."  We bracket the glitch boundary
+starting from a hint, then bisect down to a configurable granularity
+(the paper worked to about 10 terminals / 5%).  Optional replications
+re-run boundary points with different seeds, mirroring the paper's
+confidence procedure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import SpiffiConfig
+from repro.core.metrics import RunMetrics
+from repro.core.system import run_simulation
+
+
+@dataclasses.dataclass(frozen=True)
+class Probe:
+    terminals: int
+    seed: int
+    metrics: RunMetrics
+
+    @property
+    def glitch_free(self) -> bool:
+        return self.metrics.glitches == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one max-terminals search."""
+
+    max_terminals: int
+    granularity: int
+    probes: tuple[Probe, ...]
+
+    @property
+    def runs(self) -> int:
+        return len(self.probes)
+
+    def metrics_at_max(self) -> RunMetrics | None:
+        """Metrics of a glitch-free run at the reported maximum."""
+        for probe in self.probes:
+            if probe.terminals == self.max_terminals and probe.glitch_free:
+                return probe.metrics
+        return None
+
+
+def find_max_terminals(
+    config: SpiffiConfig,
+    hint: int = 200,
+    granularity: int = 10,
+    low: int = 10,
+    high: int = 4000,
+    replications: int = 1,
+) -> SearchResult:
+    """Largest terminal count (multiple of *granularity*) with zero
+    glitches across *replications* seeded runs.
+
+    *hint* seeds the bracketing phase; a good hint (e.g. the paper's own
+    number) keeps the search to a handful of simulation runs.
+    """
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    low = max(granularity, _snap(low, granularity))
+    high = _snap(high, granularity)
+    if low > high:
+        raise ValueError(f"empty search range [{low}, {high}]")
+
+    probes: list[Probe] = []
+    verdicts: dict[int, bool] = {}
+
+    def glitch_free(terminals: int) -> bool:
+        if terminals in verdicts:
+            return verdicts[terminals]
+        ok = True
+        for replication in range(replications):
+            seed = config.seed + replication
+            metrics = run_simulation(
+                config.replace(terminals=terminals, seed=seed)
+            )
+            probes.append(Probe(terminals, seed, metrics))
+            if metrics.glitches > 0:
+                ok = False
+                break
+        verdicts[terminals] = ok
+        return ok
+
+    # --- bracket the boundary ------------------------------------------
+    pivot = min(max(_snap(hint, granularity), low), high)
+    step = granularity
+    if glitch_free(pivot):
+        best, fail = pivot, None
+        while best < high:
+            probe_at = min(_snap(best + step, granularity), high)
+            if probe_at <= best:
+                break
+            if glitch_free(probe_at):
+                best = probe_at
+            else:
+                fail = probe_at
+                break
+            step *= 2
+        if fail is None:
+            return SearchResult(best, granularity, tuple(probes))
+    else:
+        fail, best = pivot, None
+        while fail > low:
+            probe_at = max(_snap(fail - step, granularity), low)
+            if probe_at >= fail:
+                break
+            if glitch_free(probe_at):
+                best = probe_at
+                break
+            fail = probe_at
+            step *= 2
+        if best is None:
+            # Even the smallest load glitches: report zero capacity.
+            return SearchResult(0, granularity, tuple(probes))
+
+    # --- bisect between best (glitch-free) and fail ---------------------
+    while fail - best > granularity:
+        middle = _snap(best + (fail - best) // 2, granularity)
+        if middle in (best, fail):
+            break
+        if glitch_free(middle):
+            best = middle
+        else:
+            fail = middle
+    return SearchResult(best, granularity, tuple(probes))
+
+
+def _snap(value: int, granularity: int) -> int:
+    return (value // granularity) * granularity

@@ -1,0 +1,7 @@
+"""Video file layouts: full striping and the non-striped baseline."""
+
+from repro.layout.base import Layout, Placement
+from repro.layout.nonstriped import NonStripedLayout
+from repro.layout.striped import StripedLayout
+
+__all__ = ["Layout", "NonStripedLayout", "Placement", "StripedLayout"]

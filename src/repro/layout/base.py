@@ -1,0 +1,56 @@
+"""Layout interface: mapping (video, stripe block) → physical placement."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """Physical location of one stripe block."""
+
+    node: int
+    disk_in_node: int
+    disk_global: int
+    byte_offset: int
+
+
+class Layout:
+    """Maps logical video blocks to disks and disk byte offsets.
+
+    Implementations must keep each video's per-disk fragment contiguous
+    (paper §5.2: "the portion of a video stored on one disk ... is laid
+    out contiguously").
+    """
+
+    def __init__(self, nodes: int, disks_per_node: int, block_size: int) -> None:
+        if nodes < 1 or disks_per_node < 1:
+            raise ValueError("need at least one node and one disk per node")
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive, got {block_size}")
+        self.nodes = nodes
+        self.disks_per_node = disks_per_node
+        self.disk_count = nodes * disks_per_node
+        self.block_size = block_size
+
+    def locate(self, video_id: int, block: int) -> Placement:
+        """Physical placement of *block* of *video_id*."""
+        raise NotImplementedError
+
+    def next_block_on_same_disk(self, video_id: int, block: int) -> int | None:
+        """The following block of the same video on the same disk.
+
+        This is what the standard SPIFFI prefetcher fetches in response
+        to a real reference ("a background request for the next stripe
+        block at the same disk").  Returns None past end of video.
+        """
+        raise NotImplementedError
+
+    def disk_used_bytes(self, disk_global: int) -> int:
+        """Bytes of video data stored on a disk (drives geometry extent)."""
+        raise NotImplementedError
+
+    def split_disk_index(self, disk_global: int) -> typing.Tuple[int, int]:
+        """Global disk index → (node, disk-in-node)."""
+        return divmod(disk_global, self.disks_per_node)

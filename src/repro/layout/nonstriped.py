@@ -1,0 +1,59 @@
+"""Non-striped layout: each video lives entirely on one disk (§7.4).
+
+The paper's comparison configuration stores each video on a single,
+randomly chosen disk, with exactly ``videos / disks`` videos per disk.
+"""
+
+from __future__ import annotations
+
+from repro.layout.base import Layout, Placement
+from repro.sim.rng import RandomSource
+
+
+class NonStripedLayout(Layout):
+    def __init__(
+        self,
+        video_block_counts: list[int],
+        nodes: int,
+        disks_per_node: int,
+        block_size: int,
+        rng: RandomSource,
+    ) -> None:
+        super().__init__(nodes, disks_per_node, block_size)
+        self.video_block_counts = list(video_block_counts)
+        videos = len(video_block_counts)
+        if videos % self.disk_count != 0:
+            raise ValueError(
+                f"{videos} videos cannot be spread evenly over {self.disk_count} disks"
+            )
+        per_disk = videos // self.disk_count
+        # Random assignment with exactly `per_disk` videos per disk: a
+        # shuffled deck of disk slots.
+        slots = [disk for disk in range(self.disk_count) for _ in range(per_disk)]
+        rng.shuffle(slots)
+        self.video_disk = slots
+        self._video_base = [0] * videos
+        disk_fill = [0] * self.disk_count
+        for video_id, count in enumerate(video_block_counts):
+            disk = self.video_disk[video_id]
+            self._video_base[video_id] = disk_fill[disk]
+            disk_fill[disk] += count * block_size
+        self._disk_used = disk_fill
+
+    def locate(self, video_id: int, block: int) -> Placement:
+        count = self.video_block_counts[video_id]
+        if block < 0 or block >= count:
+            raise ValueError(f"block {block} outside video {video_id} of {count} blocks")
+        disk_global = self.video_disk[video_id]
+        node, disk_in_node = self.split_disk_index(disk_global)
+        offset = self._video_base[video_id] + block * self.block_size
+        return Placement(node, disk_in_node, disk_global, offset)
+
+    def next_block_on_same_disk(self, video_id: int, block: int) -> int | None:
+        nxt = block + 1
+        if nxt >= self.video_block_counts[video_id]:
+            return None
+        return nxt
+
+    def disk_used_bytes(self, disk_global: int) -> int:
+        return self._disk_used[disk_global]

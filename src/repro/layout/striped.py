@@ -1,0 +1,67 @@
+"""Full striping of videos across every disk (paper Figure 3).
+
+Stripe blocks alternate first between *nodes*, then between the disks at
+each node: block 0 → node 0/disk 0, block 1 → node 1/disk 0, ...,
+block ``nodes`` → node 0/disk 1, and so on.  Every ``nodes ×
+disks_per_node``-th block of a video lands on the same disk, forming
+that disk's contiguous *fragment* of the video.
+"""
+
+from __future__ import annotations
+
+from repro.layout.base import Layout, Placement
+
+
+class StripedLayout(Layout):
+    def __init__(
+        self,
+        video_block_counts: list[int],
+        nodes: int,
+        disks_per_node: int,
+        block_size: int,
+    ) -> None:
+        super().__init__(nodes, disks_per_node, block_size)
+        self.video_block_counts = list(video_block_counts)
+        row = self.disk_count
+        # Per-disk fragment base offsets, per video, in video-id order.
+        # fragment_blocks[v][d] = number of blocks of video v on disk d.
+        self._fragment_base: list[list[int]] = []
+        disk_fill = [0] * row
+        for count in self.video_block_counts:
+            self._fragment_base.append(list(disk_fill))
+            full_rows, rem = divmod(count, row)
+            for disk in range(row):
+                blocks_here = full_rows + (1 if disk < rem else 0)
+                disk_fill[disk] += blocks_here * block_size
+        self._disk_used = disk_fill
+
+    def _disk_of_block(self, block: int) -> tuple[int, int, int]:
+        """Block index → (node, disk-in-node, global disk index).
+
+        Nodes alternate fastest, then disks within a node; the global
+        disk index used for fragment accounting follows the same order:
+        ``disk_global = node * disks_per_node + disk_in_node`` but block
+        rotation order is node-major.
+        """
+        slot = block % self.disk_count
+        node = slot % self.nodes
+        disk_in_node = (slot // self.nodes) % self.disks_per_node
+        return node, disk_in_node, node * self.disks_per_node + disk_in_node
+
+    def locate(self, video_id: int, block: int) -> Placement:
+        count = self.video_block_counts[video_id]
+        if block < 0 or block >= count:
+            raise ValueError(f"block {block} outside video {video_id} of {count} blocks")
+        node, disk_in_node, disk_global = self._disk_of_block(block)
+        row_index = block // self.disk_count
+        offset = self._fragment_base[video_id][disk_global] + row_index * self.block_size
+        return Placement(node, disk_in_node, disk_global, offset)
+
+    def next_block_on_same_disk(self, video_id: int, block: int) -> int | None:
+        nxt = block + self.disk_count
+        if nxt >= self.video_block_counts[video_id]:
+            return None
+        return nxt
+
+    def disk_used_bytes(self, disk_global: int) -> int:
+        return self._disk_used[disk_global]

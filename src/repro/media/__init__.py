@@ -1,0 +1,37 @@
+"""MPEG video model, video library, and access-frequency distributions."""
+
+from repro.media.access import (
+    AccessModel,
+    BoundAccessModel,
+    UniformAccess,
+    ZipfianAccess,
+    make_access_model,
+)
+from repro.media.library import VideoLibrary, clear_sequence_cache
+from repro.media.mpeg import (
+    FRAME_B,
+    FRAME_I,
+    FRAME_P,
+    GOP_PATTERN,
+    FrameSequence,
+    MpegProfile,
+)
+from repro.media.video import BlockSchedule, Video
+
+__all__ = [
+    "AccessModel",
+    "BlockSchedule",
+    "BoundAccessModel",
+    "FRAME_B",
+    "FRAME_I",
+    "FRAME_P",
+    "FrameSequence",
+    "GOP_PATTERN",
+    "MpegProfile",
+    "UniformAccess",
+    "Video",
+    "VideoLibrary",
+    "ZipfianAccess",
+    "clear_sequence_cache",
+    "make_access_model",
+]

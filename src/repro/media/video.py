@@ -1,0 +1,73 @@
+"""A video title: a frame sequence plus cached per-block-size schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.media.mpeg import FrameSequence
+
+
+class BlockSchedule:
+    """Precomputed display timing of one video at one block size.
+
+    All terminal-side playback arithmetic reduces to lookups here:
+
+    * ``first_frame[k]`` — first frame that needs block ``k`` (the block
+      request's deadline is this frame's display time);
+    * ``last_frame[k]`` — last frame that needs block ``k`` (the buffer
+      slot holding block ``k`` can be freed once it has displayed).
+    """
+
+    def __init__(self, sequence: FrameSequence, block_size: int) -> None:
+        self.sequence = sequence
+        self.block_size = int(block_size)
+        self.block_count = sequence.block_count(block_size)
+        self.first_frame = sequence.first_frames_of_blocks(block_size)
+        self.last_frame = sequence.last_frames_of_blocks(block_size)
+
+    def block_bytes(self, block: int) -> int:
+        """Actual byte length of block *block* (the last may be short)."""
+        if block < 0 or block >= self.block_count:
+            raise ValueError(f"block {block} outside 0..{self.block_count - 1}")
+        start = block * self.block_size
+        return min(self.block_size, self.sequence.total_bytes - start)
+
+    def delivered_bytes(self, full_blocks: int) -> int:
+        """Contiguous byte prefix represented by *full_blocks* blocks."""
+        return min(full_blocks * self.block_size, self.sequence.total_bytes)
+
+
+class Video:
+    """One title in the library."""
+
+    def __init__(self, video_id: int, sequence: FrameSequence) -> None:
+        self.video_id = video_id
+        self.sequence = sequence
+        self._schedules: dict[int, BlockSchedule] = {}
+
+    @property
+    def total_bytes(self) -> int:
+        return self.sequence.total_bytes
+
+    @property
+    def frame_count(self) -> int:
+        return self.sequence.frame_count
+
+    @property
+    def fps(self) -> float:
+        return self.sequence.fps
+
+    @property
+    def duration_s(self) -> float:
+        return self.frame_count / self.fps
+
+    def schedule(self, block_size: int) -> BlockSchedule:
+        """The (cached) block schedule for *block_size* bytes."""
+        schedule = self._schedules.get(block_size)
+        if schedule is None:
+            schedule = BlockSchedule(self.sequence, block_size)
+            self._schedules[block_size] = schedule
+        return schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Video(id={self.video_id}, bytes={self.total_bytes})"

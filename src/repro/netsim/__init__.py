@@ -1,0 +1,5 @@
+"""Interconnection network model: contention-free bus with wire delays."""
+
+from repro.netsim.bus import NetworkBus, NetworkParameters
+
+__all__ = ["NetworkBus", "NetworkParameters"]

@@ -1,0 +1,18 @@
+"""Prefetching: standard, real-time, and delayed (§5.2.3)."""
+
+from repro.prefetch.prefetcher import (
+    PREFETCH_TERMINAL,
+    DiskPrefetcher,
+    PrefetchOrder,
+    PrefetchStats,
+)
+from repro.prefetch.spec import PREFETCH_MODES, PrefetchSpec
+
+__all__ = [
+    "DiskPrefetcher",
+    "PREFETCH_MODES",
+    "PREFETCH_TERMINAL",
+    "PrefetchOrder",
+    "PrefetchStats",
+    "PrefetchSpec",
+]

@@ -1,0 +1,81 @@
+"""Prefetching configuration (paper §5.2.3)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+PREFETCH_MODES = ("none", "standard", "realtime", "delayed")
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefetchSpec:
+    """How the server prefetches the next stripe block of each stream.
+
+    * ``none`` — no prefetching at all;
+    * ``standard`` — FIFO prefetch queue per disk, deadline-less disk
+      requests (lowest possible priority under real-time scheduling);
+    * ``realtime`` — prefetch queue ordered by the *estimated* deadline
+      of the anticipated true request; disk requests carry that
+      deadline, so an urgent prefetch can overtake a non-urgent real
+      request;
+    * ``delayed`` — real-time prefetching, but a prefetch is not issued
+      until it is within ``max_advance_s`` ("maximum advance prefetch
+      time") of its estimated deadline, bounding the memory that holds
+      prefetched-but-unneeded data.
+
+    Two knobs set prefetch "aggressiveness" (§5.2.3: "by varying the
+    number of prefetch processes and, hence, the number of prefetch
+    requests that are concurrently in the disk queue"):
+
+    * ``processes_per_disk`` — how many prefetch requests can be at the
+      disk concurrently;
+    * ``depth`` — how many upcoming blocks of a stream (on the same
+      disk) each real reference schedules; deeper lookahead keeps more
+      prefetched pages resident awaiting their references, which is
+      exactly the memory pressure the love-prefetch and delayed
+      prefetching algorithms exist to manage.
+
+    ``pool_share`` caps the fraction of buffer pool pages that may hold
+    prefetched-but-not-yet-referenced data; prefetches beyond the cap
+    are dropped rather than issued.  ``1.0`` is the paper's
+    "unconstrained prefetching" (used with real-time scheduling);
+    a smaller share is the "severely limited" prefetching that
+    protects the non-real-time schedulers.
+    """
+
+    mode: str = "standard"
+    processes_per_disk: int = 1
+    max_advance_s: float = 8.0
+    depth: int = 1
+    pool_share: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if not 0.0 < self.pool_share <= 1.0:
+            raise ValueError(
+                f"pool_share must be in (0, 1], got {self.pool_share}"
+            )
+        if self.mode not in PREFETCH_MODES:
+            raise ValueError(
+                f"unknown prefetch mode {self.mode!r}; choose from {PREFETCH_MODES}"
+            )
+        if self.processes_per_disk < 1:
+            raise ValueError(
+                f"processes_per_disk must be >= 1, got {self.processes_per_disk}"
+            )
+        if self.mode == "delayed" and self.max_advance_s <= 0:
+            raise ValueError(
+                f"max_advance_s must be positive, got {self.max_advance_s}"
+            )
+
+    @property
+    def uses_deadlines(self) -> bool:
+        return self.mode in ("realtime", "delayed")
+
+    def label(self) -> str:
+        if self.mode == "delayed":
+            return f"delayed prefetching ({self.max_advance_s:g}s)"
+        if self.mode == "realtime":
+            return "real-time prefetching"
+        return f"{self.mode} prefetching"

@@ -1,0 +1,86 @@
+"""Disk scheduler interface and the shared elevator (SCAN) selection.
+
+Schedulers hold pending :class:`DiskRequest` objects and decide, each
+time the drive frees up, which request to service next.  Decisions are
+made at *pop* time so that deadline changes (e.g. a real reference
+merging with a queued prefetch) take effect immediately — this mirrors
+the paper's "after each disk access, priorities are recomputed using the
+current time".
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.storage.request import DiskRequest
+
+
+class DiskScheduler:
+    """Base class: a queue of pending disk requests with a policy."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._pending: list[DiskRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> typing.Sequence[DiskRequest]:
+        """Read-only view of queued requests (no particular order)."""
+        return tuple(self._pending)
+
+    def push(self, request: DiskRequest) -> None:
+        self._pending.append(request)
+
+    def pop(self, now: float, head_cylinder: int) -> DiskRequest:
+        """Remove and return the next request to service.
+
+        Must only be called when the queue is non-empty.
+        """
+        raise NotImplementedError
+
+    def _take(self, index: int) -> DiskRequest:
+        request = self._pending[index]
+        last = len(self._pending) - 1
+        if index != last:
+            self._pending[index] = self._pending[last]
+        self._pending.pop()
+        return request
+
+
+def elevator_select(
+    requests: typing.Sequence[DiskRequest],
+    head_cylinder: int,
+    direction: int,
+    indices: typing.Sequence[int] | None = None,
+) -> tuple[int, int]:
+    """Pick the next request in SCAN order.
+
+    Scans in *direction* (+1 outward, -1 inward) from *head_cylinder*;
+    when no request lies ahead, the sweep reverses.  Ties on the same
+    cylinder are FIFO.  Returns ``(index, new_direction)`` where index
+    refers into *requests* (restricted to *indices* when given).
+
+    Raises ``ValueError`` on an empty candidate set.
+    """
+    candidates = range(len(requests)) if indices is None else indices
+    if not candidates:
+        raise ValueError("elevator_select on an empty candidate set")
+
+    for sweep_direction in (direction, -direction):
+        best_index = -1
+        best_key: tuple[int, int] | None = None
+        for index in candidates:
+            cylinder = requests[index].cylinder
+            distance = (cylinder - head_cylinder) * sweep_direction
+            if distance < 0:
+                continue
+            key = (distance, requests[index].seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        if best_index >= 0:
+            return best_index, sweep_direction
+    raise ValueError("elevator_select found no candidate in either direction")

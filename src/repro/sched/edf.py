@@ -1,0 +1,21 @@
+"""Earliest-deadline-first disk scheduling (related-work baseline).
+
+Used by [Redd94]'s study; included here for comparison experiments.
+Requests without deadlines sort last; ties are FIFO.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import DiskScheduler
+from repro.storage.request import DiskRequest
+
+
+class EdfScheduler(DiskScheduler):
+    name = "edf"
+
+    def pop(self, now: float, head_cylinder: int) -> DiskRequest:
+        best = min(
+            range(len(self._pending)),
+            key=lambda i: (self._pending[i].deadline, self._pending[i].seq),
+        )
+        return self._take(best)

@@ -1,0 +1,24 @@
+"""The elevator (SCAN) disk scheduling algorithm (paper §5.2.2).
+
+Scans the cylinders in one direction servicing requests as the head
+reaches them, then reverses — "nearly minimal seek times and fairness".
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import DiskScheduler, elevator_select
+from repro.storage.request import DiskRequest
+
+
+class ElevatorScheduler(DiskScheduler):
+    name = "elevator"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.direction = 1
+
+    def pop(self, now: float, head_cylinder: int) -> DiskRequest:
+        index, self.direction = elevator_select(
+            self._pending, head_cylinder, self.direction
+        )
+        return self._take(index)

@@ -1,0 +1,14 @@
+"""First-come-first-served disk scheduling (analysis baseline)."""
+
+from __future__ import annotations
+
+from repro.sched.base import DiskScheduler
+from repro.storage.request import DiskRequest
+
+
+class FcfsScheduler(DiskScheduler):
+    name = "fcfs"
+
+    def pop(self, now: float, head_cylinder: int) -> DiskRequest:
+        best = min(range(len(self._pending)), key=lambda i: self._pending[i].seq)
+        return self._take(best)

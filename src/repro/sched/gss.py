@@ -1,0 +1,61 @@
+"""The group sweeping scheme, GSS [Yu92] (paper §5.2.2).
+
+Terminals are statically assigned to a fixed set of groups, processed
+repeatedly in round-robin order.  Processing a group selects up to one
+pending request per terminal in the group (a *batch*) and services the
+batch in elevator order.  One group ≈ elevator with at most one service
+per terminal per sweep; groups == terminals ≈ round-robin.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import DiskScheduler, elevator_select
+from repro.storage.request import DiskRequest
+
+
+class GssScheduler(DiskScheduler):
+    name = "gss"
+
+    def __init__(self, groups: int = 1) -> None:
+        if groups < 1:
+            raise ValueError(f"need >= 1 group, got {groups}")
+        super().__init__()
+        self.groups = groups
+        self.direction = 1
+        self._current_group = 0
+        self._batch: list[DiskRequest] = []
+
+    def group_of(self, request: DiskRequest) -> int:
+        return request.terminal_id % self.groups
+
+    def _build_batch(self, group: int) -> list[DiskRequest]:
+        """One request (the oldest) per terminal with work in *group*."""
+        oldest: dict[int, DiskRequest] = {}
+        for request in self._pending:
+            if self.group_of(request) != group:
+                continue
+            incumbent = oldest.get(request.terminal_id)
+            if incumbent is None or request.seq < incumbent.seq:
+                oldest[request.terminal_id] = request
+        return list(oldest.values())
+
+    def pop(self, now: float, head_cylinder: int) -> DiskRequest:
+        # Drop batch members that are no longer pending (defensive; the
+        # drive is the only consumer so this should be a no-op).
+        if self._batch:
+            live = set(map(id, self._pending))
+            self._batch = [r for r in self._batch if id(r) in live]
+        if not self._batch:
+            for step in range(self.groups):
+                group = (self._current_group + step) % self.groups
+                batch = self._build_batch(group)
+                if batch:
+                    self._batch = batch
+                    self._current_group = (group + 1) % self.groups
+                    break
+        index, self.direction = elevator_select(
+            self._batch, head_cylinder, self.direction
+        )
+        request = self._batch.pop(index)
+        self._pending.remove(request)
+        return request

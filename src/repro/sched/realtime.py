@@ -1,0 +1,60 @@
+"""The SPIFFI real-time disk scheduling algorithm (paper §5.2.2).
+
+Each pending request's deadline is mapped into one of a fixed set of
+priority classes using uniformly spaced priority cutoffs: with spacing
+``s`` and ``n`` classes, a request within ``s`` seconds of its deadline
+is class 0 (most urgent), within ``2s`` class 1, ..., and anything
+further out (including deadline-less prefetches) is class ``n-1``.
+
+At each disk-free instant the highest-priority non-empty class is
+selected and serviced in elevator order; priorities are recomputed from
+the current time on every pop.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sched.base import DiskScheduler, elevator_select
+from repro.storage.request import DiskRequest
+
+
+class RealTimeScheduler(DiskScheduler):
+    name = "realtime"
+
+    def __init__(self, priority_classes: int = 3, priority_spacing_s: float = 4.0) -> None:
+        if priority_classes < 1:
+            raise ValueError(f"need >= 1 priority class, got {priority_classes}")
+        if priority_spacing_s <= 0:
+            raise ValueError(f"spacing must be positive, got {priority_spacing_s}")
+        super().__init__()
+        self.priority_classes = priority_classes
+        self.priority_spacing_s = priority_spacing_s
+        self.direction = 1
+
+    def classify(self, request: DiskRequest, now: float) -> int:
+        """Priority class (0 = most urgent) of a request at time *now*."""
+        slack = request.deadline - now
+        if math.isinf(slack):
+            return self.priority_classes - 1
+        if slack < 0:
+            return 0
+        return min(int(slack / self.priority_spacing_s), self.priority_classes - 1)
+
+    def pop(self, now: float, head_cylinder: int) -> DiskRequest:
+        best_class = self.priority_classes
+        for request in self._pending:
+            cls = self.classify(request, now)
+            if cls < best_class:
+                best_class = cls
+                if cls == 0:
+                    break
+        indices = [
+            i
+            for i, request in enumerate(self._pending)
+            if self.classify(request, now) == best_class
+        ]
+        index, self.direction = elevator_select(
+            self._pending, head_cylinder, self.direction, indices
+        )
+        return self._take(index)

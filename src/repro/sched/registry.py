@@ -1,0 +1,68 @@
+"""Scheduler construction from a declarative specification."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sched.base import DiskScheduler
+from repro.sched.edf import EdfScheduler
+from repro.sched.elevator import ElevatorScheduler
+from repro.sched.fcfs import FcfsScheduler
+from repro.sched.gss import GssScheduler
+from repro.sched.realtime import RealTimeScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+
+SCHEDULER_NAMES = ("fcfs", "elevator", "round_robin", "gss", "realtime", "edf")
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerSpec:
+    """Which disk scheduling algorithm to run, with its parameters.
+
+    ``realtime`` uses *priority_classes* and *priority_spacing_s*
+    (e.g. the paper's "3 priority classes with 4 second priority
+    spacing"); ``gss`` uses *gss_groups*.
+    """
+
+    name: str = "elevator"
+    priority_classes: int = 3
+    priority_spacing_s: float = 4.0
+    gss_groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.name not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {self.name!r}; choose from {SCHEDULER_NAMES}"
+            )
+
+    @property
+    def is_real_time(self) -> bool:
+        """Whether the algorithm understands request deadlines."""
+        return self.name in ("realtime", "edf")
+
+    def build(self) -> DiskScheduler:
+        """A fresh scheduler instance (one per disk)."""
+        if self.name == "fcfs":
+            return FcfsScheduler()
+        if self.name == "elevator":
+            return ElevatorScheduler()
+        if self.name == "round_robin":
+            return RoundRobinScheduler()
+        if self.name == "gss":
+            return GssScheduler(self.gss_groups)
+        if self.name == "realtime":
+            return RealTimeScheduler(self.priority_classes, self.priority_spacing_s)
+        if self.name == "edf":
+            return EdfScheduler()
+        raise AssertionError(f"unhandled scheduler {self.name!r}")
+
+    def label(self) -> str:
+        """Human-readable label used in benchmark tables."""
+        if self.name == "realtime":
+            return (
+                f"real-time ({self.priority_classes} prio, "
+                f"{self.priority_spacing_s:g}s spacing)"
+            )
+        if self.name == "gss":
+            return f"GSS ({self.gss_groups} group{'s' if self.gss_groups != 1 else ''})"
+        return self.name.replace("_", "-")

@@ -1,0 +1,40 @@
+"""Round-robin disk scheduling (paper §5.2.2).
+
+Terminals are serviced strictly in cyclic terminal order, one request
+per turn, with no attempt to optimise seek distances — the degenerate
+GSS configuration where every terminal is its own group.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import DiskScheduler
+from repro.storage.request import DiskRequest
+
+
+class RoundRobinScheduler(DiskScheduler):
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_terminal = -1
+
+    def pop(self, now: float, head_cylinder: int) -> DiskRequest:
+        # The oldest pending request per terminal, then the terminal
+        # whose id follows the last-serviced one in cyclic order.
+        oldest: dict[int, DiskRequest] = {}
+        for request in self._pending:
+            incumbent = oldest.get(request.terminal_id)
+            if incumbent is None or request.seq < incumbent.seq:
+                oldest[request.terminal_id] = request
+        terminals = sorted(oldest)
+        chosen_terminal = None
+        for terminal in terminals:
+            if terminal > self._last_terminal:
+                chosen_terminal = terminal
+                break
+        if chosen_terminal is None:
+            chosen_terminal = terminals[0]
+        self._last_terminal = chosen_terminal
+        request = oldest[chosen_terminal]
+        self._pending.remove(request)
+        return request

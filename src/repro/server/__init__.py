@@ -1,0 +1,6 @@
+"""Video server: nodes and the piggybacking coordinator."""
+
+from repro.server.node import NodeStats, VideoServerNode
+from repro.server.piggyback import PiggybackCoordinator
+
+__all__ = ["NodeStats", "PiggybackCoordinator", "VideoServerNode"]

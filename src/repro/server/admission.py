@@ -1,0 +1,121 @@
+"""Admission control: bounding concurrent streams (paper §4).
+
+"The risk of glitches can be made arbitrarily low by limiting the
+maximum number of terminals as much as is desired."  This module makes
+that limiting an explicit, pluggable server component:
+
+* ``none`` — admit everyone (the paper's measurement configuration;
+  the experimenter controls load by choosing the terminal count);
+* ``fixed`` — a hard cap on concurrent streams;
+* ``bandwidth`` — reserve each stream's bit rate against a headroom
+  fraction of the server's aggregate disk transfer bandwidth;
+* ``analytic`` — cap at the elevator-scan analytical capacity bound
+  (see :mod:`repro.analytic`), the classical conservative design.
+
+Denied terminals queue FIFO and are admitted as streams finish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from collections import deque
+
+from repro.analytic.capacity import StreamParameters, estimate_capacity
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.stats import Tally
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.drive import DriveParameters
+
+ADMISSION_POLICIES = ("none", "fixed", "bandwidth", "analytic")
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionSpec:
+    """Which admission policy the server runs, with its parameters."""
+
+    policy: str = "none"
+    #: ``fixed``: maximum concurrent streams.
+    max_streams: int = 1_000_000
+    #: ``bandwidth``: fraction of aggregate disk bandwidth reservable.
+    headroom: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"choose from {ADMISSION_POLICIES}"
+            )
+        if self.max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {self.max_streams}")
+        if not 0.0 < self.headroom <= 1.0:
+            raise ValueError(f"headroom must be in (0, 1], got {self.headroom}")
+
+    def stream_limit(
+        self,
+        disks: int,
+        drive: "DriveParameters",
+        stream: StreamParameters,
+        disk_capacity_bytes: int,
+    ) -> int | None:
+        """Concurrent-stream cap implied by the policy (None = no cap)."""
+        if self.policy == "none":
+            return None
+        if self.policy == "fixed":
+            return self.max_streams
+        if self.policy == "bandwidth":
+            aggregate = disks * drive.transfer_rate_bytes * self.headroom
+            return max(1, int(aggregate / stream.bytes_per_second))
+        if self.policy == "analytic":
+            estimates = estimate_capacity(drive, stream, disks, disk_capacity_bytes)
+            return max(1, estimates.scan)
+        raise AssertionError(f"unhandled policy {self.policy!r}")
+
+
+class AdmissionController:
+    """Grants stream slots, queueing requests beyond the cap FIFO."""
+
+    def __init__(self, env: Environment, limit: int | None) -> None:
+        self.env = env
+        self.limit = limit
+        self.active = 0
+        self._waiting: deque[tuple[Event, float]] = deque()
+        self.admitted = 0
+        self.queued = 0
+        self.wait_times = Tally()
+
+    def request_slot(self) -> Event:
+        """Fires when the stream may start (immediately if room)."""
+        event = Event(self.env)
+        if self.limit is None or self.active < self.limit:
+            self.active += 1
+            self.admitted += 1
+            self.wait_times.record(0.0)
+            event.succeed()
+        else:
+            self.queued += 1
+            self._waiting.append((event, self.env.now))
+        return event
+
+    def release_slot(self) -> None:
+        """A stream finished; hand its slot to the oldest waiter."""
+        if self.active <= 0:
+            raise ValueError("release_slot() with no active streams")
+        if self._waiting:
+            waiter, requested_at = self._waiting.popleft()
+            self.admitted += 1
+            self.wait_times.record(self.env.now - requested_at)
+            waiter.succeed()
+        else:
+            self.active -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def reset_stats(self) -> None:
+        self.admitted = 0
+        self.queued = 0
+        self.wait_times.reset()

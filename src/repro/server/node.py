@@ -1,0 +1,199 @@
+"""A video server node: CPU, disks, buffer pool, prefetchers (§5.2).
+
+SPIFFI's decentralized design routes each read request directly from
+the terminal to the node and disk holding the block; the node services
+it from its buffer pool, merging onto in-flight I/Os where possible,
+and responds straight back to the terminal.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.bufferpool.pool import HIT, INFLIGHT, MISS, BufferPool
+from repro.cpu.costs import CpuParameters
+from repro.cpu.processor import Processor
+from repro.layout.base import Placement
+from repro.prefetch.prefetcher import DiskPrefetcher, PrefetchOrder
+from repro.prefetch.spec import PrefetchSpec
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.stats import Tally
+from repro.storage.drive import DiskDrive
+from repro.storage.request import NO_DEADLINE, DiskRequest
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.layout.base import Layout
+    from repro.media.library import VideoLibrary
+    from repro.netsim.bus import NetworkBus
+
+
+class NodeStats:
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.disk_reads = 0
+        self.service_time = Tally()
+
+
+class VideoServerNode:
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        cpu: Processor,
+        cpu_params: CpuParameters,
+        drives: list[DiskDrive],
+        pool: BufferPool,
+        bus: "NetworkBus",
+        library: "VideoLibrary",
+        layout: "Layout",
+        block_size: int,
+        prefetch_spec: PrefetchSpec,
+        prefetchers: list[DiskPrefetcher],
+    ) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.cpu = cpu
+        self.cpu_params = cpu_params
+        self.drives = drives
+        self.pool = pool
+        self.bus = bus
+        self.library = library
+        self.layout = layout
+        self.block_size = block_size
+        self.prefetch_spec = prefetch_spec
+        self.prefetchers = prefetchers
+        self.stats = NodeStats()
+
+    # ------------------------------------------------------------------
+    # Request entry point (called from terminal fetch processes)
+    # ------------------------------------------------------------------
+    def request_block(
+        self,
+        terminal_id: int,
+        video_id: int,
+        block: int,
+        size: int,
+        placement: Placement,
+        deadline: float,
+    ) -> Event:
+        """Service a stripe block read; the event fires on delivery."""
+        done = self.env.event()
+        self.env.process(
+            self._service(terminal_id, video_id, block, size, placement, deadline, done),
+            name=f"node-{self.node_id}-svc",
+        )
+        return done
+
+    def _reply_allowance(self, size: int) -> float:
+        """Time the reply path will add after the disk read completes.
+
+        The disk access must finish this much before the terminal's
+        deadline, so it is subtracted when assigning the disk deadline.
+        """
+        costs = self.cpu_params.costs
+        cpu_time = self.cpu_params.seconds(costs.send_message + costs.receive_message)
+        return cpu_time + self.bus.params.transit_time(size)
+
+    def _service(
+        self,
+        terminal_id: int,
+        video_id: int,
+        block: int,
+        size: int,
+        placement: Placement,
+        deadline: float,
+        done: Event,
+    ):
+        env = self.env
+        costs = self.cpu_params.costs
+        arrived = env.now
+        self.stats.requests += 1
+        yield from self.cpu.execute(costs.receive_message)
+
+        key = (video_id, block)
+        disk_deadline = deadline - self._reply_allowance(size)
+        page, status = yield from self.pool.acquire(key, size, terminal_id=terminal_id)
+        if status == MISS:
+            self.stats.disk_reads += 1
+            yield from self.cpu.execute(costs.start_io)
+            drive = self.drives[placement.disk_in_node]
+            request = DiskRequest(
+                env,
+                byte_offset=placement.byte_offset,
+                size=size,
+                cylinder=drive.geometry.cylinder_of(placement.byte_offset),
+                deadline=disk_deadline,
+                is_prefetch=False,
+                terminal_id=terminal_id,
+            )
+            request.tighten_deadline(page.deadline_hint)
+            page.disk_request = request
+            drive.submit(request)
+            yield request.done
+            self.pool.finish_io(page)
+        elif status == INFLIGHT:
+            # Merge onto the in-flight (usually prefetch) read, lending
+            # it this real request's urgency — via the hint if the disk
+            # request has not been created yet.
+            page.deadline_hint = min(page.deadline_hint, disk_deadline)
+            if page.disk_request is not None:
+                page.disk_request.tighten_deadline(disk_deadline)
+            yield page.io_event
+
+        self._trigger_prefetch(video_id, block, disk_deadline)
+
+        yield from self.cpu.execute(costs.send_message)
+        yield from self.bus.transfer(size)
+        self.pool.unpin(page)
+        self.stats.service_time.record(env.now - arrived)
+        done.succeed(env.now)
+        return None
+
+    # ------------------------------------------------------------------
+    # Prefetch triggering (§5.2.3)
+    # ------------------------------------------------------------------
+    def _trigger_prefetch(self, video_id: int, block: int, base_deadline: float) -> None:
+        """Queue background reads of upcoming blocks on the same disk.
+
+        The standard algorithm looks one block ahead; a larger prefetch
+        ``depth`` schedules several upcoming blocks of the stream's
+        fragment (dedup in the prefetcher makes the steady-state cost
+        one new prefetch per reference).
+        """
+        if self.prefetch_spec.mode == "none":
+            return
+        video = self.library[video_id]
+        schedule = video.schedule(self.block_size)
+        previous = block
+        for _ in range(self.prefetch_spec.depth):
+            next_block = self.layout.next_block_on_same_disk(video_id, previous)
+            if next_block is None:
+                return
+            placement = self.layout.locate(video_id, next_block)
+            if self.prefetch_spec.uses_deadlines and base_deadline != NO_DEADLINE:
+                frames_ahead = int(schedule.first_frame[next_block]) - int(
+                    schedule.first_frame[block]
+                )
+                estimated = base_deadline + frames_ahead / video.fps
+            else:
+                estimated = NO_DEADLINE
+            prefetcher = self.prefetchers[placement.disk_in_node]
+            prefetcher.schedule(
+                PrefetchOrder(
+                    key=(video_id, next_block),
+                    size=schedule.block_bytes(next_block),
+                    byte_offset=placement.byte_offset,
+                    cylinder=self.drives[placement.disk_in_node].geometry.cylinder_of(
+                        placement.byte_offset
+                    ),
+                    deadline=estimated,
+                )
+            )
+            previous = next_block
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,68 @@
+"""Piggybacking terminals that start the same movie (paper §8.2).
+
+The server "could recognize popular movies and intentionally delay the
+first subscriber ... while it waits for additional subscribers to
+request the same movie.  In this way, a group of terminals could be
+piggybacked and serviced as though they were one terminal."
+
+Implementation: the first request for a video opens a *batch* that
+launches after the configured window; every request for the same title
+arriving inside the window joins the batch and launches at the same
+instant.  Synchronized terminals then request identical blocks at
+identical times, so all but the first merge onto shared buffer pool
+pages and disk I/Os.
+"""
+
+from __future__ import annotations
+
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+
+class PiggybackCoordinator:
+    def __init__(self, env: Environment, window_s: float = 0.0) -> None:
+        if window_s < 0:
+            raise ValueError(f"window must be >= 0, got {window_s}")
+        self.env = env
+        self.window_s = window_s
+        self._open_batches: dict[int, Event] = {}
+        self.batches_launched = 0
+        self.terminals_joined = 0
+        self.terminals_batched = 0
+
+    def request_start(self, video_id: int) -> Event | None:
+        """Join (or open) the launch batch for *video_id*.
+
+        Returns an event that fires when the batch launches, or None
+        when piggybacking is disabled (zero window) and the terminal may
+        start immediately.
+        """
+        if self.window_s <= 0:
+            return None
+        batch = self._open_batches.get(video_id)
+        if batch is None:
+            batch = self.env.event()
+            self._open_batches[video_id] = batch
+            self.env.process(self._launch_later(video_id, batch))
+            self.batches_launched += 1
+        else:
+            self.terminals_batched += 1
+        self.terminals_joined += 1
+        return batch
+
+    def _launch_later(self, video_id: int, batch: Event):
+        yield self.env.timeout(self.window_s)
+        del self._open_batches[video_id]
+        batch.succeed()
+
+    @property
+    def sharing_fraction(self) -> float:
+        """Fraction of starts that piggybacked onto an existing batch."""
+        if self.terminals_joined == 0:
+            return 0.0
+        return self.terminals_batched / self.terminals_joined
+
+    def reset_stats(self) -> None:
+        self.batches_launched = 0
+        self.terminals_joined = 0
+        self.terminals_batched = 0

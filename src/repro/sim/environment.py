@@ -1,0 +1,145 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.errors import SimError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Scheduling priorities: URGENT events at the same timestamp are
+#: processed before NORMAL ones.  Used for interrupt delivery.
+URGENT = 0
+NORMAL = 1
+
+
+class Environment:
+    """Holds the simulation clock and executes events in time order.
+
+    Determinism: given the same seedable inputs, event execution order is
+    fully deterministic — ties on (time, priority) break on insertion
+    order via a monotonically increasing sequence number.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event creation helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires after *delay* simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator, name: str | None = None) -> Process:
+        """Start a new simulated process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the run loop
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place a triggered event on the queue (kernel internal)."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event that nobody handled: surface it.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run until a time, until an event fires, or until the queue drains.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event fires, returning its
+          value (or raising its exception).
+        """
+        stop_value: list = []
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            deadline = float("inf")
+            if until.processed:
+                if until.ok:
+                    return until.value
+                raise until.value
+
+            def _stop(event: Event) -> None:
+                stop_value.append(event)
+
+            until.callbacks.append(_stop)
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"run(until={deadline}) is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if self._queue[0][0] > deadline:
+                self._now = deadline
+                return None
+            try:
+                self.step()
+            except StopSimulation as stop:
+                return stop.value
+            if stop_value:
+                event = stop_value[0]
+                if event.ok:
+                    return event.value
+                raise event.value
+
+        if deadline != float("inf"):
+            self._now = deadline
+        if isinstance(until, Event) and not until.processed:
+            raise SimError("run() ran out of events before `until` fired")
+        return None
+
+    def stop(self, value: object = None) -> None:
+        """End the current :meth:`run` immediately."""
+        raise StopSimulation(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

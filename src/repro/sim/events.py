@@ -1,0 +1,170 @@
+"""Core event types for the process-oriented simulation kernel.
+
+The kernel follows the design of CSIM (which the paper's simulator used)
+and SimPy: simulated activities are Python generator functions that
+``yield`` events; the :class:`~repro.sim.environment.Environment` resumes
+them when those events fire.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.errors import EventLifecycleError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+#: Sentinel for "no value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event moves through three states:
+
+    1. *untriggered* — freshly created;
+    2. *triggered* — :meth:`succeed` or :meth:`fail` has been called and
+       the event is scheduled on the event queue;
+    3. *processed* — its callbacks have run and its value is final.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables ``(event) -> None`` run when the event is processed.
+        #: ``None`` once the event has been processed.
+        self.callbacks: list | None = []
+        self._value: object = _PENDING
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run and :attr:`value` is final."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        if self._value is _PENDING:
+            raise EventLifecycleError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self._value is not _PENDING:
+            raise EventLifecycleError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have *exception* thrown at their yield
+        point.  If nobody is waiting, the exception propagates out of
+        :meth:`Environment.step` to surface bugs loudly.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise EventLifecycleError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class AnyOf(Event):
+    """Fires when the first of several events fires.
+
+    The value is a dict mapping the fired events (so far) to their values.
+    """
+
+    def __init__(self, env: "Environment", events: typing.Sequence[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_fire(event)
+                break
+            event.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self.succeed({e: e.value for e in self._events if e.processed and e.ok})
+
+
+class AllOf(Event):
+    """Fires when every one of several events has fired.
+
+    The value is a dict mapping each event to its value.
+    """
+
+    def __init__(self, env: "Environment", events: typing.Sequence[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for event in self._events:
+            if not event.processed:
+                self._remaining += 1
+                event.callbacks.append(self._on_fire)
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self._events})
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self._events})

@@ -1,0 +1,128 @@
+"""Generator-driven simulated processes."""
+
+from __future__ import annotations
+
+import types
+import typing
+
+from repro.sim.errors import Interrupt, SimError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Process(Event):
+    """A simulated activity driven by a Python generator.
+
+    The generator yields :class:`Event` instances; the process sleeps
+    until each yielded event fires, then resumes with the event's value
+    (or has the event's exception thrown at the yield point).
+
+    A ``Process`` is itself an :class:`Event` that succeeds with the
+    generator's return value when it finishes, so processes can wait for
+    each other simply by yielding them.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: typing.Generator,
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(generator, types.GeneratorType):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None if not
+        #: started or already finished).
+        self._target: Event | None = None
+        self.name = name or generator.__name__
+        # Kick the process off via an immediately-scheduled bootstrap event.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._schedule(bootstrap)
+        self._target = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The interrupt is delivered immediately (before any further
+        simulated time passes).  Interrupting a finished process is an
+        error; interrupting a process waiting on an event removes it
+        from that event's callbacks.
+        """
+        if self.triggered:
+            raise SimError(f"cannot interrupt finished process {self.name!r}")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        # Deliver via an immediate event carrying the Interrupt.
+        delivery = Event(self.env)
+        delivery._ok = False
+        delivery._value = Interrupt(cause)
+        delivery._defused = True
+        delivery.callbacks.append(self._resume)
+        self.env._schedule(delivery, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        env = self.env
+        env._active_process = self
+        try:
+            if event.ok:
+                result = self._generator.send(event.value)
+            else:
+                # The exception is being delivered into a process; it is
+                # that process's job to handle or propagate it.
+                event._defused = True
+                result = self._generator.throw(event.value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self._target = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        env._active_process = None
+
+        if not isinstance(result, Event):
+            exc = SimError(
+                f"process {self.name!r} yielded {result!r}, which is not an Event"
+            )
+            self._generator.throw(exc)
+            return
+        if result.callbacks is not None:
+            result.callbacks.append(self._resume)
+            self._target = result
+        else:
+            # Already processed: resume immediately with its final value.
+            immediate = Event(env)
+            immediate._ok = result.ok
+            immediate._value = result._value
+            if not result.ok:
+                immediate._defused = True
+            immediate.callbacks.append(self._resume)
+            env._schedule(immediate, priority=0)
+            self._target = immediate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} at {id(self):#x}>"

@@ -1,0 +1,108 @@
+"""Deterministic random-number sources for the simulator.
+
+Every stochastic component draws from its own named stream so that, e.g.,
+changing the number of terminals does not perturb the frame sizes of the
+videos.  All streams derive deterministically from one master seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+
+class RandomSource:
+    """A seeded random stream with the distributions the paper needs."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially distributed value with the given mean."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean}")
+        return self._random.expovariate(1.0 / mean)
+
+    def poisson(self, mean: float) -> int:
+        """Poisson-distributed count with the given mean (Knuth's method)."""
+        if mean < 0:
+            raise ValueError(f"poisson mean must be >= 0, got {mean}")
+        if mean == 0:
+            return 0
+        limit = math.exp(-mean)
+        count = 0
+        product = self._random.random()
+        while product > limit:
+            count += 1
+            product *= self._random.random()
+        return count
+
+    def choice(self, sequence):
+        return self._random.choice(sequence)
+
+    def shuffle(self, sequence: list) -> None:
+        self._random.shuffle(sequence)
+
+    def spawn(self, label: str) -> "RandomSource":
+        """Create an independent child stream identified by *label*.
+
+        Uses a stable hash (not Python's randomized ``hash``) so that
+        runs are reproducible across interpreter invocations.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        child_seed = int.from_bytes(digest[:8], "little")
+        return RandomSource(child_seed)
+
+
+def zipf_weights(count: int, skew: float) -> list[float]:
+    """Normalised Zipfian access probabilities for ranks 1..count.
+
+    ``p(i) ∝ 1 / i**skew``; ``skew == 0`` degenerates to uniform.
+    Matches the paper's Figure 8 (z = 0.5, 1.0, 1.5).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    raw = [1.0 / math.pow(rank, skew) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+class DiscreteSampler:
+    """Samples indices 0..n-1 with fixed probabilities via inverse CDF."""
+
+    def __init__(self, weights: list[float], rng: RandomSource) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        total = sum(weights)
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            weights = [w / total for w in weights]
+        self.weights = list(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+        self._rng = rng
+
+    def sample(self) -> int:
+        u = self._rng.uniform()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

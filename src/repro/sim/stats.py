@@ -1,0 +1,178 @@
+"""Statistics collectors for simulation outputs.
+
+All collectors support ``reset(now)`` so measurement can begin after a
+warmup period, matching the paper's methodology ("once all the terminals
+have begun watching videos, the simulator begins collecting performance
+and utilization data").
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Tally:
+    """Streaming count/mean/min/max/variance of observed samples."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self, now: float | None = None) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tally(n={self.count}, mean={self.mean:.4g})"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Feed it level changes via :meth:`update`; it integrates the level
+    over time.  Used for queue lengths and utilizations.
+    """
+
+    def __init__(self, now: float = 0.0, level: float = 0.0) -> None:
+        self._level = level
+        self._last = now
+        self._area = 0.0
+        self._start = now
+        self.maximum = level
+
+    def update(self, now: float, level: float) -> None:
+        self._area += self._level * (now - self._last)
+        self._last = now
+        self._level = level
+        if level > self.maximum:
+            self.maximum = level
+
+    def add(self, now: float, delta: float) -> None:
+        self.update(now, self._level + delta)
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def mean(self, now: float) -> float:
+        area = self._area + self._level * (now - self._last)
+        elapsed = now - self._start
+        return area / elapsed if elapsed > 0 else self._level
+
+    def reset(self, now: float) -> None:
+        self._area = 0.0
+        self._last = now
+        self._start = now
+        self.maximum = self._level
+
+
+class BusyTracker:
+    """Tracks the busy fraction of a device (disk, CPU, wire)."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self._busy_depth = 0
+        self._busy_since: float | None = None
+        self._busy_time = 0.0
+        self._start = now
+
+    def begin(self, now: float) -> None:
+        if self._busy_depth == 0:
+            self._busy_since = now
+        self._busy_depth += 1
+
+    def end(self, now: float) -> None:
+        self._busy_depth -= 1
+        if self._busy_depth < 0:
+            raise ValueError("BusyTracker.end() without matching begin()")
+        if self._busy_depth == 0:
+            self._busy_time += now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self, now: float) -> float:
+        busy = self._busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return busy
+
+    def utilization(self, now: float) -> float:
+        elapsed = now - self._start
+        return self.busy_time(now) / elapsed if elapsed > 0 else 0.0
+
+    def reset(self, now: float) -> None:
+        self._busy_time = 0.0
+        self._start = now
+        if self._busy_since is not None:
+            self._busy_since = now
+
+
+class WindowedRate:
+    """Peak and mean rate of a byte/event stream over fixed windows.
+
+    Used for the paper's "peak aggregate network bandwidth" (Figure 18):
+    bytes are recorded as they cross the wire; the peak is the largest
+    per-window total divided by the window length.
+    """
+
+    def __init__(self, window: float = 1.0, now: float = 0.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._start = now
+        self._current_index = 0
+        self._current_total = 0.0
+        self._peak_total = 0.0
+        self._grand_total = 0.0
+
+    def record(self, now: float, amount: float) -> None:
+        index = int((now - self._start) / self.window)
+        if index != self._current_index:
+            if self._current_total > self._peak_total:
+                self._peak_total = self._current_total
+            self._current_index = index
+            self._current_total = 0.0
+        self._current_total += amount
+        self._grand_total += amount
+
+    @property
+    def peak_rate(self) -> float:
+        total = max(self._peak_total, self._current_total)
+        return total / self.window
+
+    def mean_rate(self, now: float) -> float:
+        elapsed = now - self._start
+        return self._grand_total / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._grand_total
+
+    def reset(self, now: float) -> None:
+        self._start = now
+        self._current_index = 0
+        self._current_total = 0.0
+        self._peak_total = 0.0
+        self._grand_total = 0.0

@@ -1,0 +1,15 @@
+"""Disk models: geometry, read-ahead cache, requests, and drives."""
+
+from repro.storage.cache import ReadAheadCache
+from repro.storage.drive import DiskDrive, DriveParameters
+from repro.storage.geometry import DiskGeometry
+from repro.storage.request import NO_DEADLINE, DiskRequest
+
+__all__ = [
+    "DiskDrive",
+    "DiskGeometry",
+    "DiskRequest",
+    "DriveParameters",
+    "NO_DEADLINE",
+    "ReadAheadCache",
+]

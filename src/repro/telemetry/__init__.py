@@ -1,0 +1,6 @@
+"""Observation layer: event tracing and periodic state sampling."""
+
+from repro.telemetry.sampler import PeriodicSampler, standard_probes
+from repro.telemetry.trace import TraceEvent, TraceRecorder
+
+__all__ = ["PeriodicSampler", "TraceEvent", "TraceRecorder", "standard_probes"]

@@ -1,0 +1,91 @@
+"""Periodic time-series sampling of live simulation state.
+
+Attach named probes (zero-argument callables) and the sampler polls
+them on a fixed simulated-time interval, building the time series
+behind utilization-over-time plots — e.g. disk queue lengths, buffer
+pool occupancy, glitch counts.
+"""
+
+from __future__ import annotations
+
+import io
+import typing
+
+from repro.sim.environment import Environment
+
+
+class PeriodicSampler:
+    def __init__(
+        self,
+        env: Environment,
+        interval_s: float,
+        probes: dict[str, typing.Callable[[], float]],
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        if not probes:
+            raise ValueError("need at least one probe")
+        self.env = env
+        self.interval_s = interval_s
+        self.probes = dict(probes)
+        self.names = tuple(self.probes)
+        #: Rows of (time, value-per-probe-in-names-order).
+        self.rows: list[tuple] = []
+        self._process = env.process(self._run(), name="telemetry-sampler")
+
+    def _run(self):
+        env = self.env
+        while True:
+            self.rows.append(
+                (env.now,) + tuple(self.probes[name]() for name in self.names)
+            )
+            yield env.timeout(self.interval_s)
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """The (time, value) series of one probe."""
+        index = self.names.index(name) + 1
+        return [(row[0], row[index]) for row in self.rows]
+
+    def latest(self) -> dict[str, float]:
+        if not self.rows:
+            return {}
+        last = self.rows[-1]
+        return {name: last[i + 1] for i, name in enumerate(self.names)}
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write("time," + ",".join(self.names) + "\n")
+        for row in self.rows:
+            out.write(",".join(f"{value:g}" for value in row) + "\n")
+        return out.getvalue()
+
+
+def standard_probes(system) -> dict[str, typing.Callable[[], float]]:
+    """The probe set most analyses want, for a :class:`SpiffiSystem`."""
+    env = system.env
+
+    def mean_disk_queue() -> float:
+        queues = [
+            len(drive.scheduler) for node in system.nodes for drive in node.drives
+        ]
+        return sum(queues) / len(queues)
+
+    def mean_pool_occupancy() -> float:
+        pools = [node.pool for node in system.nodes]
+        return sum(p.resident_pages / p.capacity_pages for p in pools) / len(pools)
+
+    def prefetched_fraction() -> float:
+        pools = [node.pool for node in system.nodes]
+        return sum(
+            p.prefetched_resident / p.capacity_pages for p in pools
+        ) / len(pools)
+
+    def total_glitches() -> float:
+        return float(sum(t.stats.glitches for t in system.terminals))
+
+    return {
+        "disk_queue": mean_disk_queue,
+        "pool_occupancy": mean_pool_occupancy,
+        "prefetched_fraction": prefetched_fraction,
+        "glitches": total_glitches,
+    }

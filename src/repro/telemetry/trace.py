@@ -1,0 +1,69 @@
+"""Structured event tracing for simulation debugging and analysis.
+
+A :class:`TraceRecorder` collects typed, timestamped events from
+anywhere in the simulator (bounded, so hour-long simulations cannot
+exhaust memory), supports filtering at record time, and summarises by
+event kind.  Nothing in the simulator *requires* tracing — it is an
+observation layer.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import Counter, deque
+
+from repro.sim.environment import Environment
+
+
+class TraceEvent(typing.NamedTuple):
+    time: float
+    kind: str
+    fields: dict
+
+
+class TraceRecorder:
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int = 100_000,
+        kinds: typing.Collection[str] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        #: When set, only these event kinds are recorded.
+        self.kinds = set(kinds) if kinds is not None else None
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+        self.dropped = 0
+
+    def record(self, kind: str, **fields) -> None:
+        """Record one event (cheap no-op for filtered kinds)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.counts[kind] += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(self.env.now, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Recorded events, optionally restricted to one kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with start <= time < end."""
+        return [event for event in self._events if start <= event.time < end]
+
+    def summary(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.counts.clear()
+        self.dropped = 0

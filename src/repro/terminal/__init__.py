@@ -1,0 +1,14 @@
+"""Video terminals: playback, priming, glitches, pauses, and seeks."""
+
+from repro.terminal.pauses import PauseModel
+from repro.terminal.search import SkimParameters, skim_search, version_search
+from repro.terminal.terminal import Terminal, TerminalStats
+
+__all__ = [
+    "PauseModel",
+    "SkimParameters",
+    "Terminal",
+    "TerminalStats",
+    "skim_search",
+    "version_search",
+]

@@ -1,0 +1,31 @@
+"""The viewer pause model (paper Figure 19).
+
+"Each terminal paused each video on average twice for an average of 2
+minutes": per video we draw a Poisson-distributed pause count, uniform
+pause positions (frames), and exponentially distributed durations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.rng import RandomSource
+
+
+@dataclasses.dataclass(frozen=True)
+class PauseModel:
+    enabled: bool = False
+    mean_pauses_per_video: float = 2.0
+    mean_pause_duration_s: float = 120.0
+
+    def sample(self, rng: RandomSource, frame_count: int) -> list[tuple[int, float]]:
+        """Pause plan for one viewing: sorted (frame, duration) pairs."""
+        if not self.enabled or frame_count <= 1:
+            return []
+        count = rng.poisson(self.mean_pauses_per_video)
+        pauses = [
+            (rng.randint(0, frame_count - 1), rng.exponential(self.mean_pause_duration_s))
+            for _ in range(count)
+        ]
+        pauses.sort()
+        return pauses

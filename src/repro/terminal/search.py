@@ -1,0 +1,127 @@
+"""Visual search: fast-forward and rewind with picture (paper §8.1).
+
+The paper outlines two schemes and this module implements both as
+driver generators over a :class:`~repro.terminal.terminal.Terminal`:
+
+* **skim search** — "the terminal can skip forward or backward through
+  the movie showing one or two seconds out of every several seconds of
+  video data.  Since the skipped video segments need not be read, this
+  scheme will not significantly increase the load on the video server"
+  — at the cost of a choppy picture;
+* **version search** — switch to "a completely separate version of
+  each movie ... for supporting rewind and fast-forward searches": a
+  condensed copy (see ``VideoLibrary(search_speedup=...)``) that plays
+  as a smooth, constant-rate stream at the cost of extra disk space.
+
+Both return the frame of the *normal* video at which the viewer ends
+up, so play can resume there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.terminal.terminal import Terminal
+
+
+@dataclasses.dataclass(frozen=True)
+class SkimParameters:
+    """How choppy the skip-based search is."""
+
+    show_s: float = 1.0   # seconds of video displayed per hop
+    skip_s: float = 8.0   # seconds of video skipped per hop
+
+    def __post_init__(self) -> None:
+        if self.show_s <= 0 or self.skip_s <= 0:
+            raise ValueError("show_s and skip_s must be positive")
+
+
+def skim_search(
+    terminal: "Terminal",
+    direction: int,
+    duration_s: float,
+    params: SkimParameters | None = None,
+):
+    """Generator: skip through the current video showing snippets.
+
+    *direction* is +1 (fast-forward) or -1 (rewind); *duration_s* is
+    how long the viewer holds the button.  Returns the final frame.
+    """
+    if direction not in (+1, -1):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    params = params or SkimParameters()
+    env = terminal.env
+    video = terminal._video
+    if video is None:
+        raise ValueError("skim_search with no active video")
+    fps = video.fps
+    show_frames = max(1, int(params.show_s * fps))
+    hop_frames = direction * int((params.show_s + params.skip_s) * fps)
+    deadline = env.now + duration_s
+
+    frame = terminal._next_frame
+    while env.now < deadline:
+        target = frame + hop_frames
+        if target <= 0 or target >= video.frame_count - show_frames:
+            break
+        terminal.seek(target)
+        # Display one snippet from the new position.
+        yield from terminal._wait_primed()
+        terminal._anchor = env.now - terminal._next_frame / fps
+        snippet_end = min(target + show_frames, video.frame_count)
+        due = terminal._anchor + snippet_end / fps
+        if due > env.now:
+            yield env.timeout(due - env.now)
+        terminal._next_frame = snippet_end
+        frame = snippet_end
+    return frame
+
+
+def version_search(
+    terminal: "Terminal",
+    title_id: int,
+    direction: int,
+    duration_s: float,
+):
+    """Generator: smooth search using the title's condensed copy.
+
+    Switches the terminal to the search version at the position
+    corresponding to the viewer's place in the movie, plays it for up
+    to *duration_s* (each second covering ``speedup`` seconds of
+    content), then maps the position back and returns the equivalent
+    frame of the normal video.  A rewind reads the same condensed
+    stream — the server load is identical — with the position applied
+    in the backward direction.
+    """
+    if direction not in (+1, -1):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    library = terminal.fabric.library
+    speedup = library.search_speedup
+    if speedup is None:
+        raise ValueError("library stores no search versions")
+    env = terminal.env
+    normal = library[title_id]
+    search = library[library.search_version_of(title_id)]
+
+    # Map the current position into the search copy.
+    start_fraction = terminal._next_frame / max(1, normal.frame_count)
+    start = min(int(start_fraction * search.frame_count), search.frame_count - 1)
+    session = env.process(terminal.play(search.video_id, start_frame=start))
+    yield env.timeout(duration_s)
+    if session.is_alive:
+        # Viewer released the button: end the search playback the same
+        # way a seek does — bump the session epoch and let it unwind.
+        terminal._epoch += 1
+        yield session
+
+    watched_fraction = (terminal._next_frame - start) / max(1, search.frame_count)
+    final_fraction = start_fraction + direction * watched_fraction
+    final_fraction = min(max(final_fraction, 0.0), 1.0)
+    final = min(int(final_fraction * normal.frame_count), normal.frame_count - 1)
+    return final

@@ -1,0 +1,417 @@
+"""The video terminal (paper §5.1).
+
+A terminal primes its buffers, then displays the movie frame-by-frame
+while concurrently requesting subsequent stripe blocks — always keeping
+as many blocks buffered or on order as its memory allows.  If display
+catches up with delivery, a *glitch* occurs: the terminal stops, counts
+the glitch, re-primes its buffers, and resumes.
+
+Playback is frame-accurate but event-batched: the display process wakes
+only at block boundaries and stall points, computing everything between
+from the video's precomputed frame schedule.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.media.access import BoundAccessModel
+from repro.media.video import BlockSchedule, Video
+from repro.sim.environment import Environment
+from repro.sim.resources import Gate
+from repro.sim.rng import RandomSource
+from repro.sim.stats import Tally
+from repro.terminal.pauses import PauseModel
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import ServerFabric
+
+
+class TerminalStats:
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.glitches = 0
+        self.glitch_durations = Tally()
+        self.startup_latency = Tally()
+        self.response_time = Tally()
+        self.deadline_misses = 0
+        self.blocks_received = 0
+        self.videos_completed = 0
+        self.pauses_taken = 0
+
+
+class Terminal:
+    def __init__(
+        self,
+        env: Environment,
+        terminal_id: int,
+        fabric: "ServerFabric",
+        access: BoundAccessModel,
+        rng: RandomSource,
+        memory_bytes: int,
+        pause_model: PauseModel | None = None,
+        initial_position_fraction: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.terminal_id = terminal_id
+        self.fabric = fabric
+        self.access = access
+        self.rng = rng
+        self.memory_bytes = memory_bytes
+        self.block_size = fabric.block_size
+        self.slots = memory_bytes // fabric.block_size
+        if self.slots < 2:
+            raise ValueError(
+                f"terminal memory of {memory_bytes} bytes holds fewer than two "
+                f"{fabric.block_size}-byte stripe blocks"
+            )
+        self.pause_model = pause_model or PauseModel()
+        if not 0.0 <= initial_position_fraction <= 1.0:
+            raise ValueError(
+                f"initial_position_fraction must be in [0, 1], "
+                f"got {initial_position_fraction}"
+            )
+        self.initial_position_fraction = initial_position_fraction
+        self.stats = TerminalStats()
+
+        # Per-session playback state (reset by _reset_session).
+        self._video: Video | None = None
+        self._schedule: BlockSchedule | None = None
+        self._epoch = 0
+        self._delivered = bytearray()
+        self._delivered_total = 0
+        self._contig = 0
+        self._freed = 0
+        self._outstanding = 0
+        self._next_request = 0
+        self._next_frame = 0
+        self._anchor = 0.0
+        self._playing = False
+
+        self._slot_gate = Gate(env)
+        self._data_gate = Gate(env)
+
+    # ------------------------------------------------------------------
+    # Main loop: pick a video, watch it, repeat (closed system, §6)
+    # ------------------------------------------------------------------
+    def start(self, initial_delay: float) -> None:
+        self.env.process(self._run(initial_delay), name=f"terminal-{self.terminal_id}")
+
+    def _run(self, initial_delay: float):
+        yield self.env.timeout(initial_delay)
+        first = True
+        while True:
+            # Admission control (a no-op unless the server enforces a
+            # stream cap), then any piggyback launch batching.
+            admission = getattr(self.fabric, "request_admission", None)
+            if admission is not None:
+                yield admission()
+            video_id = self.access.select()
+            launch = self.fabric.request_start(video_id)
+            if launch is not None:
+                yield launch
+            start_frame = 0
+            if first and self.initial_position_fraction > 0:
+                # Join the first video mid-stream so that a short
+                # measurement window sees terminals spread uniformly
+                # through their videos, as a long-running closed system
+                # would be.
+                video = self.fabric.library[video_id]
+                limit = int(video.frame_count * self.initial_position_fraction)
+                if limit > 0:
+                    start_frame = self.rng.randint(0, limit - 1)
+            first = False
+            yield from self.play(video_id, start_frame)
+            release = getattr(self.fabric, "release_admission", None)
+            if release is not None:
+                release()
+
+    # ------------------------------------------------------------------
+    # One viewing
+    # ------------------------------------------------------------------
+    def play(self, video_id: int, start_frame: int = 0):
+        """Generator: watch *video_id* from *start_frame* to the end."""
+        video = self.fabric.library[video_id]
+        self._begin_session(video, start_frame)
+        epoch = self._epoch
+        session_start = self.env.now
+        self.env.process(
+            self._requester(epoch), name=f"terminal-{self.terminal_id}-req"
+        )
+        pauses = self.pause_model.sample(self.rng, video.frame_count)
+        if start_frame:
+            # A mid-video join only experiences pauses still ahead.
+            pauses = [pause for pause in pauses if pause[0] >= start_frame]
+
+        # Prime, then display until the video ends.
+        yield from self._wait_primed()
+        self.stats.startup_latency.record(self.env.now - session_start)
+        # The anchor is the (virtual) time frame 0 displayed; display of
+        # frame f is due at anchor + f/fps, which makes the first frame
+        # due right now even for a mid-video start.
+        self._anchor = self.env.now - self._next_frame / video.fps
+        self._playing = True
+        yield from self._display(epoch, pauses)
+        self._playing = False
+        if self._epoch == epoch and self._next_frame >= video.frame_count:
+            self.stats.videos_completed += 1
+        return None
+
+    def _begin_session(self, video: Video, start_frame: int = 0) -> None:
+        if start_frame < 0 or start_frame >= video.frame_count:
+            raise ValueError(
+                f"start frame {start_frame} outside video of {video.frame_count} frames"
+            )
+        self._epoch += 1
+        self._video = video
+        schedule = video.schedule(self.block_size)
+        self._schedule = schedule
+        start_byte = int(video.sequence.cumulative[start_frame])
+        start_block = min(start_byte // self.block_size, schedule.block_count - 1)
+        self._delivered = bytearray(schedule.block_count)
+        for early in range(start_block):
+            self._delivered[early] = 1
+        self._delivered_total = start_block
+        self._contig = start_block
+        self._freed = start_block
+        self._outstanding = 0
+        self._next_request = start_block
+        self._next_frame = start_frame
+        self._playing = False
+
+    # ------------------------------------------------------------------
+    # Display process (runs inline in play())
+    # ------------------------------------------------------------------
+    def _display(self, epoch: int, pauses: list[tuple[int, float]]):
+        env = self.env
+        sequence = self._video.sequence
+        schedule = self._schedule
+        frame_count = self._video.frame_count
+        fps = self._video.fps
+        pause_index = 0
+
+        while self._next_frame < frame_count and self._epoch == epoch:
+            # Take a pause exactly at its frame, before displaying it
+            # (and before any glitch accounting — a paused viewer sees
+            # no glitch; the terminal keeps filling its buffers).
+            if pause_index < len(pauses) and pauses[pause_index][0] <= self._next_frame:
+                duration = pauses[pause_index][1]
+                pause_index += 1
+                self.stats.pauses_taken += 1
+                yield env.timeout(duration)
+                self._anchor += duration
+                continue
+
+            displayable = sequence.frames_displayable(
+                schedule.delivered_bytes(self._contig)
+            )
+            if displayable <= self._next_frame:
+                # The frame due now has not fully arrived: glitch.
+                yield from self._glitch()
+                continue
+
+            target = displayable
+            if self._freed < schedule.block_count:
+                target = min(target, int(schedule.last_frame[self._freed]) + 1)
+            if pause_index < len(pauses):
+                # Stop at the next pause point; the branch above takes
+                # the pause once display reaches it.
+                target = min(target, pauses[pause_index][0])
+            due = self._anchor + target / fps
+            if due > env.now:
+                yield env.timeout(due - env.now)
+            if self._epoch != epoch:
+                return None
+            self._next_frame = target
+            self._free_displayed_blocks()
+        return None
+
+    def _free_displayed_blocks(self) -> None:
+        schedule = self._schedule
+        freed_any = False
+        while (
+            self._freed < schedule.block_count
+            and self._next_frame > schedule.last_frame[self._freed]
+        ):
+            self._freed += 1
+            freed_any = True
+        if freed_any:
+            self._slot_gate.open()
+
+    def _glitch(self):
+        """Stall: count it, re-prime the buffers, restart display.
+
+        Re-priming "increases the duration of the glitch but reduces the
+        likelihood of a second glitch occurring immediately after the
+        first" (§5.1).
+        """
+        started = self.env.now
+        self.stats.glitches += 1
+        # The requester may be asleep on a full buffer; the required
+        # block count can have grown (oversized frame), so wake it.
+        self._slot_gate.open()
+        yield from self._wait_primed()
+        self.stats.glitch_durations.record(self.env.now - started)
+        self._anchor = self.env.now - self._next_frame / self._video.fps
+        return None
+
+    def _edge_frame_span_blocks(self) -> int:
+        """Blocks spanned by the frame at the delivery edge.
+
+        A frame spanning more blocks than the terminal has slots (a
+        deep exponential-tail frame) could never become displayable
+        inside the normal window; the terminal temporarily borrows
+        decoder memory for it — the slot limit widens to the span —
+        rather than stalling forever.  For ordinary frames the span is
+        1-2 blocks and the normal slot window applies.
+        """
+        sequence = self._video.sequence
+        edge = sequence.frames_displayable(
+            self._schedule.delivered_bytes(self._contig)
+        )
+        if edge >= self._video.frame_count:
+            return 1
+        first_block = int(sequence.cumulative[edge]) // self.block_size
+        last_block = (int(sequence.cumulative[edge + 1]) - 1) // self.block_size
+        return last_block - first_block + 1
+
+    def _wait_primed(self):
+        """Wait until the buffer is full (or the video fully delivered).
+
+        "Full" always includes every block of the frame the display is
+        stalled on, so waiting is guaranteed to cure the stall.
+        """
+        schedule = self._schedule
+        while True:
+            want = min(
+                self._freed + max(self.slots, self._edge_frame_span_blocks()),
+                schedule.block_count,
+            )
+            if self._contig >= want:
+                return None
+            yield self._data_gate.wait()
+
+    # ------------------------------------------------------------------
+    # Request pipeline
+    # ------------------------------------------------------------------
+    def _requester(self, epoch: int):
+        env = self.env
+        schedule = self._schedule
+        while self._epoch == epoch and self._next_request < schedule.block_count:
+            held = self._delivered_total - self._freed
+            # A frame larger than the slot window raises the limit so
+            # the display can eventually show it (borrowed memory).
+            limit = max(self.slots, self._edge_frame_span_blocks())
+            if held + self._outstanding >= limit:
+                yield self._slot_gate.wait()
+                continue
+            block = self._next_request
+            self._next_request += 1
+            self._outstanding += 1
+            env.process(self._fetch_block(block, epoch))
+        return None
+
+    def _request_deadline(self, block: int) -> float:
+        """When the first frame needing *block* will be displayed.
+
+        While priming (display stopped), assume display restarts right
+        now — a pessimistic but safe deadline.
+        """
+        first_frame = int(self._schedule.first_frame[block])
+        if self._playing:
+            base = self._anchor
+        else:
+            base = self.env.now - self._next_frame / self._video.fps
+        return base + first_frame / self._video.fps
+
+    def _fetch_block(self, block: int, epoch: int):
+        env = self.env
+        fabric = self.fabric
+        video_id = self._video.video_id
+        size = self._schedule.block_bytes(block)
+        deadline = self._request_deadline(block)
+        placement = fabric.layout.locate(video_id, block)
+        sent_at = env.now
+        # Control message: terminal → node.
+        yield from fabric.bus.transfer(fabric.control_message_bytes)
+        done = fabric.node(placement.node).request_block(
+            terminal_id=self.terminal_id,
+            video_id=video_id,
+            block=block,
+            size=size,
+            placement=placement,
+            deadline=deadline,
+        )
+        yield done
+        if self._epoch != epoch:
+            return None  # Stale delivery from before a seek; discard.
+        self._outstanding -= 1
+        self._delivered[block] = 1
+        self._delivered_total += 1
+        count = self._schedule.block_count
+        while self._contig < count and self._delivered[self._contig]:
+            self._contig += 1
+        self.stats.blocks_received += 1
+        self.stats.response_time.record(env.now - sent_at)
+        if env.now > deadline:
+            self.stats.deadline_misses += 1
+        self._data_gate.open()
+        self._slot_gate.open()
+        return None
+
+    # ------------------------------------------------------------------
+    # Interactive controls (§8.1)
+    # ------------------------------------------------------------------
+    def seek(self, frame: int) -> None:
+        """Jump to *frame* (rewind / fast-forward).
+
+        Discards buffered and in-flight data, then re-primes from the
+        new position; the display loop picks the session back up
+        exactly as it does after a glitch, so "the procedure for the
+        terminal is the same regardless of where in the video it begins
+        playback".
+        """
+        if self._video is None:
+            raise ValueError("seek() with no active video")
+        if frame < 0 or frame >= self._video.frame_count:
+            raise ValueError(
+                f"frame {frame} outside video of {self._video.frame_count} frames"
+            )
+        schedule = self._schedule
+        self._epoch += 1
+        epoch = self._epoch
+        start_byte = int(self._video.sequence.cumulative[frame])
+        block = min(start_byte // self.block_size, schedule.block_count - 1)
+        self._delivered = bytearray(schedule.block_count)
+        self._delivered_total = 0
+        self._outstanding = 0
+        # Treat everything before the seek point as already displayed so
+        # priming and slot accounting restart cleanly at the new spot.
+        self._contig = block
+        for early in range(block):
+            self._delivered[early] = 1
+        self._delivered_total = block
+        self._freed = block
+        self._next_request = block
+        self._next_frame = frame
+        self.env.process(self._requester(epoch))
+
+    def resume_display_after_seek(self, pauses: list[tuple[int, float]] | None = None):
+        """Generator: re-prime at the seek position and play to the end."""
+        epoch = self._epoch
+        yield from self._wait_primed()
+        self._anchor = self.env.now - self._next_frame / self._video.fps
+        self._playing = True
+        yield from self._display(epoch, pauses or [])
+        self._playing = False
+        if self._epoch == epoch and self._next_frame >= self._video.frame_count:
+            self.stats.videos_completed += 1
+        return None
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Terminal {self.terminal_id} slots={self.slots}>"

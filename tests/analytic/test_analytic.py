@@ -1,0 +1,124 @@
+"""Tests for the analytical capacity and memory models."""
+
+import pytest
+
+from repro.analytic import (
+    StreamParameters,
+    average_case_streams_per_disk,
+    caching_pays_for_video,
+    estimate_capacity,
+    five_minute_rule_break_even,
+    predicted_memory_demand,
+    scan_streams_per_disk,
+    worst_case_streams_per_disk,
+)
+from repro.storage import DriveParameters
+
+GB = 1024 ** 3
+DRIVE = DriveParameters()
+STREAM = StreamParameters()
+CYLINDERS = 5 * GB // DRIVE.cylinder_bytes
+
+
+class TestStreamParameters:
+    def test_block_period(self):
+        # 512 KB at 0.5 MB/s ≈ 1.05 s of video per block.
+        assert STREAM.block_period_s == pytest.approx(512 * 1024 / 5e5)
+
+
+class TestCapacityBounds:
+    def test_ordering_worst_below_average_below_scan(self):
+        worst = worst_case_streams_per_disk(DRIVE, STREAM, CYLINDERS)
+        average = average_case_streams_per_disk(DRIVE, STREAM, CYLINDERS)
+        scan = scan_streams_per_disk(DRIVE, STREAM, CYLINDERS)
+        assert 0 < worst < average <= scan
+
+    def test_scan_below_transfer_limit(self):
+        scan = scan_streams_per_disk(DRIVE, STREAM, CYLINDERS)
+        transfer_limit = DRIVE.transfer_rate_bytes / STREAM.bytes_per_second
+        assert scan <= transfer_limit
+
+    def test_worst_case_magnitude(self):
+        """Full-stroke seek (~19 ms) + rotation (~8 ms) + transfer
+        (~69 ms) per 1.05 s block → ~10 streams."""
+        worst = worst_case_streams_per_disk(DRIVE, STREAM, CYLINDERS)
+        assert 8 <= worst <= 12
+
+    def test_estimate_scales_with_disks(self):
+        one = estimate_capacity(DRIVE, STREAM, 1, 5 * GB)
+        sixteen = estimate_capacity(DRIVE, STREAM, 16, 5 * GB)
+        assert sixteen.scan == 16 * one.scan
+        assert sixteen.transfer_limit == pytest.approx(16 * one.transfer_limit, abs=16)
+
+    def test_paper_scale_sanity(self):
+        """The simulator finds ~230 terminals on 16 disks; the scan
+        bound should be in that neighbourhood and the worst-case bound
+        far below it (the paper's over-provisioning argument)."""
+        estimates = estimate_capacity(DRIVE, STREAM, 16, 5 * GB)
+        assert estimates.worst_case < estimates.scan
+        assert 150 <= estimates.scan <= 240
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_capacity(DRIVE, STREAM, 0, 5 * GB)
+
+
+class TestMemoryModel:
+    def test_transient_scales_with_streams(self):
+        demand = predicted_memory_demand(100, 16, STREAM, prefetch_depth=0)
+        assert demand.prefetched_bytes == 0
+        assert demand.transient_bytes == 100 * 2 * STREAM.block_bytes
+
+    def test_depth_multiplies_prefetched_residency(self):
+        shallow = predicted_memory_demand(100, 16, STREAM, prefetch_depth=1)
+        deep = predicted_memory_demand(100, 16, STREAM, prefetch_depth=3)
+        assert deep.prefetched_bytes == 3 * shallow.prefetched_bytes
+
+    def test_max_advance_caps_demand(self):
+        unbounded = predicted_memory_demand(100, 16, STREAM, prefetch_depth=3)
+        capped = predicted_memory_demand(
+            100, 16, STREAM, prefetch_depth=3, max_advance_s=8.0
+        )
+        assert capped.prefetched_bytes < unbounded.prefetched_bytes
+
+    def test_paper_regime(self):
+        """~190 streams with depth-1 prefetching over 16 disks demand
+        on the order of 1-2 GB — which is why 512 MB pressures global
+        LRU (Figure 11)."""
+        demand = predicted_memory_demand(190, 16, STREAM, prefetch_depth=1)
+        assert 1 * GB < demand.total_bytes < 3 * GB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_memory_demand(-1, 16, STREAM)
+        with pytest.raises(ValueError):
+            predicted_memory_demand(10, 0, STREAM)
+
+
+class TestFiveMinuteRule:
+    def test_break_even_magnitude_1995(self):
+        """Gray's 1990s numbers: ~$4000 disk doing ~60 accesses/s,
+        memory at $40/MB → break-even of minutes for 4 KB pages."""
+        interval = five_minute_rule_break_even(
+            page_bytes=4096,
+            disk_dollars=4000.0,
+            disk_accesses_per_second=60.0,
+            memory_dollars_per_mb=40.0,
+        )
+        assert 60 <= interval <= 1200
+
+    def test_video_pages_never_cache(self):
+        """A 512 KB stripe block re-referenced (if ever) an hour later:
+        caching never pays — the paper's "no five minute rule for
+        video servers"."""
+        interval = five_minute_rule_break_even(
+            page_bytes=512 * 1024,
+            disk_dollars=4000.0,
+            disk_accesses_per_second=14.0,
+            memory_dollars_per_mb=40.0,
+        )
+        assert not caching_pays_for_video(3600.0, interval)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            five_minute_rule_break_even(0, 1, 1, 1)

@@ -1,0 +1,117 @@
+"""Tests for the global LRU and love prefetch replacement policies."""
+
+import pytest
+
+from repro.bufferpool import GlobalLru, LovePrefetch, Page, make_policy
+
+
+def page(key, pins=0):
+    p = Page(key, 1024)
+    p.pins = pins
+    return p
+
+
+class TestGlobalLru:
+    def test_victim_is_oldest_unpinned(self):
+        policy = GlobalLru()
+        a, b = page(("v", 0)), page(("v", 1))
+        policy.on_insert(a, prefetched=False)
+        policy.on_insert(b, prefetched=False)
+        assert policy.victim() is a
+
+    def test_reference_moves_to_tail(self):
+        policy = GlobalLru()
+        a, b = page(("v", 0)), page(("v", 1))
+        policy.on_insert(a, prefetched=False)
+        policy.on_insert(b, prefetched=False)
+        policy.on_reference(a)
+        assert policy.victim() is b
+
+    def test_pinned_pages_skipped(self):
+        policy = GlobalLru()
+        a, b = page(("v", 0), pins=1), page(("v", 1))
+        policy.on_insert(a, prefetched=False)
+        policy.on_insert(b, prefetched=False)
+        assert policy.victim() is b
+
+    def test_no_distinction_for_prefetched(self):
+        policy = GlobalLru()
+        pre = page(("v", 0))
+        ref = page(("v", 1))
+        policy.on_insert(pre, prefetched=True)
+        policy.on_insert(ref, prefetched=False)
+        # Single queue: the prefetched page is oldest and is evicted
+        # first even though it has not been used yet.
+        assert policy.victim() is pre
+
+    def test_exclude_prefetched(self):
+        policy = GlobalLru()
+        pre = page(("v", 0))
+        ref = page(("v", 1))
+        policy.on_insert(pre, prefetched=True)
+        policy.on_insert(ref, prefetched=False)
+        assert policy.victim(exclude_prefetched=True) is ref
+
+    def test_evict_removes(self):
+        policy = GlobalLru()
+        a = page(("v", 0))
+        policy.on_insert(a, prefetched=False)
+        policy.on_evict(a)
+        assert policy.victim() is None
+
+
+class TestLovePrefetch:
+    def test_referenced_chain_sacrificed_first(self):
+        policy = LovePrefetch()
+        pre = page(("v", 0))
+        ref = page(("v", 1))
+        policy.on_insert(pre, prefetched=True)
+        policy.on_insert(ref, prefetched=False)
+        # Even though the prefetched page is older, the referenced page
+        # is the victim (Figure 4).
+        assert policy.victim() is ref
+
+    def test_prefetched_chain_as_last_resort(self):
+        policy = LovePrefetch()
+        pre = page(("v", 0))
+        policy.on_insert(pre, prefetched=True)
+        assert policy.victim() is pre
+        assert policy.victim(exclude_prefetched=True) is None
+
+    def test_reference_moves_between_chains(self):
+        policy = LovePrefetch()
+        pre = page(("v", 0))
+        other = page(("v", 1))
+        policy.on_insert(pre, prefetched=True)
+        policy.on_insert(other, prefetched=True)
+        policy.on_reference(pre)
+        assert not pre.is_prefetched
+        # pre is now on the referenced chain and becomes the victim.
+        assert policy.victim() is pre
+
+    def test_lru_within_each_chain(self):
+        policy = LovePrefetch()
+        first = page(("v", 0))
+        second = page(("v", 1))
+        policy.on_insert(first, prefetched=False)
+        policy.on_insert(second, prefetched=False)
+        policy.on_reference(first)
+        assert policy.victim() is second
+
+    def test_evict_from_either_chain(self):
+        policy = LovePrefetch()
+        pre = page(("v", 0))
+        ref = page(("v", 1))
+        policy.on_insert(pre, prefetched=True)
+        policy.on_insert(ref, prefetched=False)
+        policy.on_evict(pre)
+        policy.on_evict(ref)
+        assert policy.victim() is None
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_policy("global_lru"), GlobalLru)
+        assert isinstance(make_policy("love_prefetch"), LovePrefetch)
+        with pytest.raises(ValueError):
+            make_policy("clock")

@@ -1,0 +1,104 @@
+"""Stateful property test: the buffer pool under random operation mixes.
+
+Drives random sequences of real reads, prefetches, and re-references
+against both replacement policies, checking structural invariants the
+simulator relies on after every step.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.bufferpool import BufferPool, make_policy
+from repro.sim import Environment
+
+KEYS = [("v", block) for block in range(12)]
+CAPACITY = 6
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    @initialize(policy=st.sampled_from(["global_lru", "love_prefetch"]),
+                share=st.sampled_from([0.5, 1.0]))
+    def setup(self, policy, share):
+        self.env = Environment()
+        self.pool = BufferPool(
+            self.env, CAPACITY, make_policy(policy), prefetch_pool_share=share
+        )
+        self.loaded_reads = 0
+
+    def _drive(self, generator):
+        """Run a pool generator to completion (no simulated waiting is
+        possible here because every page is unpinned between rules)."""
+        result = {}
+
+        def proc(env):
+            result["value"] = yield from generator
+        process = self.env.process(proc(self.env))
+        self.env.run(until=process)
+        return result["value"]
+
+    @rule(key=st.sampled_from(KEYS), terminal=st.integers(0, 3))
+    def real_read(self, key, terminal):
+        page, status = self._drive(
+            self.pool.acquire(key, 1024, terminal_id=terminal)
+        )
+        assert status in ("hit", "inflight", "miss")
+        if status == "miss":
+            self.pool.finish_io(page)
+            self.loaded_reads += 1
+        assert not page.in_flight
+        assert not page.is_prefetched  # referenced pages leave the chain
+        self.pool.unpin(page)
+
+    @rule(key=st.sampled_from(KEYS))
+    def prefetch(self, key):
+        page = self.pool.try_acquire_for_prefetch(key, 1024)
+        if page is not None:
+            assert page.is_prefetched
+            self.pool.finish_io(page)
+            self.pool.unpin(page)
+
+    @invariant()
+    def capacity_respected(self):
+        if not hasattr(self, "pool"):
+            return
+        assert self.pool.resident_pages <= CAPACITY
+
+    @invariant()
+    def prefetched_counter_consistent(self):
+        if not hasattr(self, "pool"):
+            return
+        actual = sum(1 for page in self.pool.pages.values() if page.is_prefetched)
+        assert self.pool.prefetched_resident == actual
+
+    @invariant()
+    def all_pages_unpinned_between_rules(self):
+        if not hasattr(self, "pool"):
+            return
+        assert all(page.pins == 0 for page in self.pool.pages.values())
+        assert all(not page.in_flight for page in self.pool.pages.values())
+
+    @invariant()
+    def victim_is_always_evictable(self):
+        if not hasattr(self, "pool"):
+            return
+        victim = self.pool.policy.victim()
+        if victim is not None:
+            assert victim.evictable
+        restricted = self.pool.policy.victim(exclude_prefetched=True)
+        if restricted is not None:
+            assert restricted.evictable and not restricted.is_prefetched
+
+    @invariant()
+    def stats_add_up(self):
+        if not hasattr(self, "pool"):
+            return
+        stats = self.pool.stats
+        assert stats.references == stats.hits + stats.inflight_hits + stats.misses
+
+
+TestBufferPoolStateful = BufferPoolMachine.TestCase
+TestBufferPoolStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,84 @@
+"""Tests for SpiffiConfig validation and derived quantities."""
+
+import pytest
+
+from repro import GB, KB, MB, SpiffiConfig
+from repro.prefetch import PrefetchSpec
+from repro.sched import SchedulerSpec
+
+
+class TestDefaults:
+    def test_table1_base_configuration(self):
+        config = SpiffiConfig()
+        assert config.nodes == 4
+        assert config.disks_per_node == 4
+        assert config.disk_count == 16
+        assert config.video_count == 64
+        assert config.stripe_bytes == 512 * KB
+        assert config.server_memory_bytes == 4 * GB
+        assert config.terminal_memory_bytes == 2 * MB
+        assert config.video_bit_rate_bps == 4_000_000.0
+        assert config.cpu.speed_mips == 40.0
+        assert config.drive.seek_factor_ms == 0.283
+        assert config.drive.rotation_time_ms == 8.333
+
+    def test_derived_pages(self):
+        config = SpiffiConfig()
+        # 1 GB per node at 512 KB pages.
+        assert config.pages_per_node == 2048
+        assert config.terminal_slots == 4
+
+    def test_warmup_composition(self):
+        config = SpiffiConfig(start_spread_s=10, warmup_grace_s=5, measure_s=60)
+        assert config.warmup_s == 15
+        assert config.total_sim_time_s == 75
+
+
+class TestValidation:
+    def test_bad_layout(self):
+        with pytest.raises(ValueError):
+            SpiffiConfig(layout="raid5")
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            SpiffiConfig(replacement_policy="mru")
+
+    def test_bad_access_model(self):
+        with pytest.raises(ValueError):
+            SpiffiConfig(access_model="pareto")
+
+    def test_terminal_memory_too_small(self):
+        with pytest.raises(ValueError):
+            SpiffiConfig(terminal_memory_bytes=512 * KB)
+
+    def test_server_memory_too_small(self):
+        with pytest.raises(ValueError):
+            SpiffiConfig(server_memory_bytes=1 * MB)
+
+    def test_zero_terminals(self):
+        with pytest.raises(ValueError):
+            SpiffiConfig(terminals=0)
+
+    def test_zero_measure(self):
+        with pytest.raises(ValueError):
+            SpiffiConfig(measure_s=0)
+
+
+class TestReplace:
+    def test_replace_returns_new_config(self):
+        config = SpiffiConfig()
+        other = config.replace(terminals=50)
+        assert other.terminals == 50
+        assert config.terminals == 100
+        assert other.disk_count == config.disk_count
+
+    def test_describe_mentions_algorithms(self):
+        config = SpiffiConfig(
+            scheduler=SchedulerSpec("realtime"),
+            prefetch=PrefetchSpec("delayed"),
+            replacement_policy="love_prefetch",
+        )
+        text = config.describe()
+        assert "real-time" in text
+        assert "delayed" in text
+        assert "love_prefetch" in text

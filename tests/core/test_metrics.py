@@ -1,0 +1,58 @@
+"""Tests for RunMetrics helpers and collection plumbing."""
+
+import pytest
+
+from repro import MB, SpiffiConfig
+from repro.core.metrics import collect_metrics
+from repro.core.system import SpiffiSystem
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    system = SpiffiSystem(SpiffiConfig(
+        nodes=1, disks_per_node=2, terminals=6, videos_per_disk=2,
+        video_length_s=60.0, server_memory_bytes=64 * MB,
+        start_spread_s=1.0, warmup_grace_s=2.0, measure_s=15.0, seed=3,
+    ))
+    metrics = system.run()
+    return system, metrics
+
+
+class TestRunMetrics:
+    def test_glitch_free_property(self, finished_system):
+        _, metrics = finished_system
+        assert metrics.glitch_free == (metrics.glitches == 0)
+
+    def test_network_unit_conversion(self, finished_system):
+        _, metrics = finished_system
+        assert metrics.network_peak_mbytes_per_s == pytest.approx(
+            metrics.network_peak_bytes_per_s / MB
+        )
+
+    def test_summary_mentions_key_numbers(self, finished_system):
+        _, metrics = finished_system
+        summary = metrics.summary()
+        assert f"terminals={metrics.terminals}" in summary
+        assert f"glitches={metrics.glitches}" in summary
+
+    def test_utilizations_are_fractions(self, finished_system):
+        _, metrics = finished_system
+        assert 0.0 <= metrics.disk_utilization_min <= metrics.disk_utilization_mean
+        assert metrics.disk_utilization_mean <= metrics.disk_utilization_max <= 1.0
+        assert 0.0 <= metrics.cpu_utilization_mean <= 1.0
+
+    def test_rates_are_fractions(self, finished_system):
+        _, metrics = finished_system
+        for rate in (metrics.buffer_hit_rate, metrics.buffer_inflight_hit_rate,
+                     metrics.rereference_rate):
+            assert 0.0 <= rate <= 1.0
+
+    def test_recollection_is_idempotent(self, finished_system):
+        system, metrics = finished_system
+        again = collect_metrics(system, metrics.measure_s)
+        assert again == metrics
+
+    def test_blocks_consistency(self, finished_system):
+        _, metrics = finished_system
+        # Every delivered block was a buffer reference at some node.
+        assert metrics.buffer_references >= metrics.blocks_delivered > 0

@@ -1,0 +1,134 @@
+"""Tests for the CPU and network models."""
+
+import pytest
+
+from repro.cpu import CpuParameters, InstructionCosts, Processor
+from repro.netsim import NetworkBus, NetworkParameters
+from repro.sim import Environment
+
+
+class TestCpuParameters:
+    def test_table1_costs(self):
+        costs = InstructionCosts()
+        assert costs.start_io == 20_000
+        assert costs.send_message == 6_800
+        assert costs.receive_message == 2_200
+
+    def test_seconds_at_40_mips(self):
+        params = CpuParameters()
+        assert params.seconds(20_000) == pytest.approx(0.0005)
+        assert params.seconds(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CpuParameters().seconds(-1)
+
+
+class TestProcessor:
+    def test_fcfs_serialises_bursts(self):
+        env = Environment()
+        cpu = Processor(env, CpuParameters(), 0)
+        finished = []
+
+        def worker(env, tag):
+            yield from cpu.execute(40_000_000)  # 1 second at 40 MIPS
+            finished.append((tag, env.now))
+
+        env.process(worker(env, "a"))
+        env.process(worker(env, "b"))
+        env.run()
+        assert finished == [("a", 1.0), ("b", 2.0)]
+
+    def test_utilization(self):
+        env = Environment()
+        cpu = Processor(env, CpuParameters(), 0)
+
+        def worker(env):
+            yield from cpu.execute(40_000_000)
+            yield env.timeout(3.0)
+
+        env.process(worker(env))
+        env.run()
+        assert cpu.utilization() == pytest.approx(0.25)
+
+    def test_reset_stats(self):
+        env = Environment()
+        cpu = Processor(env, CpuParameters(), 0)
+
+        def worker(env):
+            yield from cpu.execute(40_000_000)
+
+        env.process(worker(env))
+        env.run()
+        cpu.reset_stats()
+        assert cpu.utilization() == pytest.approx(0.0)
+
+
+class TestNetwork:
+    def test_table1_wire_delay(self):
+        params = NetworkParameters()
+        # 5 µs + 0.04 µs/byte: a 512 KB block ≈ 20.98 ms.
+        assert params.transit_time(0) == pytest.approx(5e-6)
+        assert params.transit_time(512 * 1024) == pytest.approx(
+            5e-6 + 0.04e-6 * 512 * 1024
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParameters().transit_time(-1)
+
+    def test_transfer_advances_clock_and_counts_bytes(self):
+        env = Environment()
+        bus = NetworkBus(env, NetworkParameters())
+        done = []
+
+        def sender(env):
+            yield from bus.transfer(1_000_000)
+            done.append(env.now)
+
+        env.process(sender(env))
+        env.run()
+        assert done[0] == pytest.approx(5e-6 + 0.04)
+        assert bus.traffic.total == 1_000_000
+        assert bus.messages == 1
+
+    def test_unlimited_aggregate_bandwidth(self):
+        """Two concurrent transfers do not queue behind each other."""
+        env = Environment()
+        bus = NetworkBus(env, NetworkParameters())
+        done = []
+
+        def sender(env, tag):
+            yield from bus.transfer(1_000_000)
+            done.append((tag, env.now))
+
+        env.process(sender(env, "a"))
+        env.process(sender(env, "b"))
+        env.run()
+        assert done[0][1] == pytest.approx(done[1][1])
+
+    def test_peak_bandwidth_windows(self):
+        env = Environment()
+        bus = NetworkBus(env, NetworkParameters(rate_window_s=1.0))
+
+        def sender(env):
+            yield from bus.transfer(100)
+            yield env.timeout(2.0)
+            yield from bus.transfer(300)
+
+        env.process(sender(env))
+        env.run()
+        assert bus.peak_bandwidth == pytest.approx(300.0)
+
+    def test_reset_stats(self):
+        env = Environment()
+        bus = NetworkBus(env, NetworkParameters())
+
+        def sender(env):
+            yield from bus.transfer(100)
+
+        env.process(sender(env))
+        env.run()
+        bus.reset_stats()
+        assert bus.traffic.total == 0
+        assert bus.messages == 0

@@ -1,0 +1,30 @@
+"""Tests for the `python -m repro.experiments` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "fig19",
+            "table2", "table3", "sec82",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_analytic_experiment(self, capsys):
+        # fig08 is pure math — safe to execute in a unit test.
+        assert main(["fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out

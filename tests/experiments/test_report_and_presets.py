@@ -1,0 +1,102 @@
+"""Tests for report formatting, presets, and experiment plumbing."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    bench_scale,
+    elevator_bundle,
+    format_table,
+    paper_config,
+    realtime_bundle,
+)
+from repro.experiments.figures import fig08_zipf
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ("name", "value"),
+            (("alpha", 1), ("b", 22)),
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        assert lines[4].startswith("alpha")
+        # Columns align: 'value' column starts at the same offset.
+        assert lines[4].index("1") == lines[5].index("2")
+
+    def test_no_title(self):
+        text = format_table(("x",), ((1,),))
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            name="demo",
+            title="A demo",
+            headers=("k", "v"),
+            rows=((1, "a"), (2, "b")),
+            notes="note",
+        )
+
+    def test_table_includes_notes(self):
+        assert "note" in self.make().table()
+
+    def test_column_lookup(self):
+        assert self.make().column("v") == ["a", "b"]
+
+    def test_cell_lookup(self):
+        assert self.make().cell(1, "k") == 2
+
+
+class TestPresets:
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert bench_scale().name == "quick"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert bench_scale().granularity == 5
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "warp")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_paper_config_matches_table1(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        config = paper_config()
+        assert config.disk_count == 16
+        assert config.video_count == 64
+        assert config.video_length_s == 3600.0
+
+    def test_elevator_bundle_limited_prefetch(self):
+        bundle = elevator_bundle()
+        assert bundle["scheduler"].name == "elevator"
+        assert bundle["prefetch"].pool_share < 1.0
+        assert bundle["prefetch"].depth == 1
+
+    def test_realtime_bundle_aggressive_prefetch(self):
+        bundle = realtime_bundle()
+        assert bundle["scheduler"].name == "realtime"
+        assert bundle["prefetch"].mode == "realtime"
+        assert bundle["prefetch"].pool_share == 1.0
+        assert bundle["prefetch"].depth > 1
+
+    def test_realtime_bundle_delayed_variant(self):
+        bundle = realtime_bundle(prefetch_mode="delayed", max_advance_s=4.0)
+        assert bundle["prefetch"].mode == "delayed"
+        assert bundle["prefetch"].max_advance_s == 4.0
+
+
+class TestFig08:
+    def test_zipf_table_analytic(self):
+        result = fig08_zipf(video_count=64)
+        assert result.headers == ("rank", "uniform", "z=0.5", "z=1.0", "z=1.5")
+        # Rank 1 of z=1.0 over 64 videos ≈ 0.21 (Figure 8's left edge).
+        first = result.rows[0]
+        assert first[result.headers.index("z=1.0")] == pytest.approx(0.21, abs=0.01)
+        # Uniform is flat.
+        uniform = result.column("uniform")
+        assert all(value == uniform[0] for value in uniform)

@@ -1,0 +1,107 @@
+"""Tests for the max-terminals search (with a stubbed simulator)."""
+
+import dataclasses
+
+import pytest
+
+import repro.experiments.search as search_module
+from repro import SpiffiConfig
+from repro.experiments.search import find_max_terminals
+
+
+@dataclasses.dataclass
+class FakeMetrics:
+    glitches: int
+
+
+class Oracle:
+    """Pretends the true capacity is `capacity` (seed-dependent shift)."""
+
+    def __init__(self, capacity, seed_shift=0):
+        self.capacity = capacity
+        self.seed_shift = seed_shift
+        self.calls = []
+
+    def __call__(self, config):
+        self.calls.append((config.terminals, config.seed))
+        effective = self.capacity + self.seed_shift * (config.seed % 2)
+        return FakeMetrics(glitches=0 if config.terminals <= effective else 7)
+
+
+@pytest.fixture()
+def patch_runner(monkeypatch):
+    def apply(oracle):
+        monkeypatch.setattr(search_module, "run_simulation", oracle)
+        return oracle
+    return apply
+
+
+def config():
+    return SpiffiConfig(terminals=10, measure_s=10.0)
+
+
+class TestSearch:
+    def test_finds_exact_boundary(self, patch_runner):
+        oracle = patch_runner(Oracle(capacity=223))
+        result = find_max_terminals(config(), hint=200, granularity=10)
+        assert result.max_terminals == 220
+
+    def test_hint_above_boundary_descends(self, patch_runner):
+        oracle = patch_runner(Oracle(capacity=100))
+        result = find_max_terminals(config(), hint=400, granularity=10)
+        assert result.max_terminals == 100
+
+    def test_hint_below_boundary_climbs(self, patch_runner):
+        oracle = patch_runner(Oracle(capacity=800))
+        result = find_max_terminals(config(), hint=100, granularity=10)
+        assert result.max_terminals == 800
+
+    def test_granularity_respected(self, patch_runner):
+        patch_runner(Oracle(capacity=223))
+        result = find_max_terminals(config(), hint=200, granularity=50)
+        assert result.max_terminals == 200
+        assert result.max_terminals % 50 == 0
+
+    def test_zero_capacity(self, patch_runner):
+        patch_runner(Oracle(capacity=0))
+        result = find_max_terminals(config(), hint=100, granularity=10, low=10)
+        assert result.max_terminals == 0
+
+    def test_everything_fits_returns_high_limit(self, patch_runner):
+        patch_runner(Oracle(capacity=10**9))
+        result = find_max_terminals(config(), hint=100, granularity=100, high=1000)
+        assert result.max_terminals == 1000
+
+    def test_probe_count_logarithmic(self, patch_runner):
+        oracle = patch_runner(Oracle(capacity=517))
+        result = find_max_terminals(config(), hint=200, granularity=10, high=4000)
+        assert result.max_terminals == 510
+        assert result.runs <= 16
+
+    def test_no_duplicate_probes(self, patch_runner):
+        oracle = patch_runner(Oracle(capacity=300))
+        find_max_terminals(config(), hint=250, granularity=10)
+        terminals_probed = [t for t, _ in oracle.calls]
+        assert len(terminals_probed) == len(set(terminals_probed))
+
+    def test_replications_must_all_pass(self, patch_runner):
+        # Odd seeds support 40 fewer terminals.
+        patch_runner(Oracle(capacity=300, seed_shift=-40))
+        strict = find_max_terminals(
+            config(), hint=300, granularity=10, replications=2
+        )
+        assert strict.max_terminals == 260
+
+    def test_metrics_at_max_available(self, patch_runner):
+        patch_runner(Oracle(capacity=200))
+        result = find_max_terminals(config(), hint=200, granularity=10)
+        assert result.metrics_at_max().glitches == 0
+
+    def test_validation(self, patch_runner):
+        patch_runner(Oracle(capacity=100))
+        with pytest.raises(ValueError):
+            find_max_terminals(config(), granularity=0)
+        with pytest.raises(ValueError):
+            find_max_terminals(config(), replications=0)
+        with pytest.raises(ValueError):
+            find_max_terminals(config(), low=500, high=100)

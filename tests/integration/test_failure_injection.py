@@ -1,0 +1,78 @@
+"""Failure injection: the system under degraded hardware.
+
+Not a paper experiment, but the robustness cases a production video
+server must survive: a drive that turns slow mid-run, and a drive that
+was slow from the start.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import MB, SpiffiConfig
+from repro.core.metrics import collect_metrics
+from repro.core.system import SpiffiSystem
+
+
+def build(terminals=36, seed=31):
+    return SpiffiSystem(SpiffiConfig(
+        nodes=2,
+        disks_per_node=2,
+        terminals=terminals,
+        videos_per_disk=2,
+        video_length_s=600.0,
+        server_memory_bytes=256 * MB,
+        start_spread_s=4.0,
+        warmup_grace_s=8.0,
+        measure_s=40.0,
+        seed=seed,
+    ))
+
+
+def degrade(drive, factor):
+    drive.params = dataclasses.replace(
+        drive.params, transfer_rate_bytes=drive.params.transfer_rate_bytes / factor
+    )
+
+
+class TestDegradedDrive:
+    def test_healthy_baseline(self):
+        system = build()
+        metrics = system.run()
+        assert metrics.glitches == 0
+
+    def test_mid_run_slowdown_causes_glitches(self):
+        """One drive dropping to 1/6 transfer speed mid-run overloads
+        it (striping sends every stream through every disk)."""
+        system = build()
+        config = system.config
+        system.start()
+        system.env.run(until=config.warmup_s)
+        system.reset_stats()
+        degrade(system.nodes[0].drives[0], factor=6.0)
+        system.env.run(until=config.warmup_s + config.measure_s)
+        metrics = collect_metrics(system, config.measure_s)
+        assert metrics.glitches > 0
+        # The slow drive saturates while the healthy ones keep headroom.
+        utils = system.disk_utilizations()
+        assert utils[0] == max(utils)
+        assert utils[0] > 0.95
+
+    def test_mild_slowdown_absorbed(self):
+        """A 15% slowdown of one drive at moderate load is absorbed by
+        the terminals' buffers: no glitches."""
+        system = build(terminals=24)
+        config = system.config
+        degrade(system.nodes[0].drives[0], factor=1.15)
+        metrics = system.run()
+        assert metrics.glitches == 0
+
+    def test_simulation_survives_extreme_degradation(self):
+        """Even a drive 30x too slow must not deadlock the simulator —
+        terminals glitch and re-prime forever, but time advances and
+        the run terminates."""
+        system = build(terminals=20)
+        degrade(system.nodes[1].drives[1], factor=30.0)
+        metrics = system.run()
+        assert metrics.glitches > 0
+        assert metrics.blocks_delivered > 0

@@ -1,0 +1,158 @@
+"""Integration tests: the paper's qualitative claims on small systems.
+
+These are scaled-down (4-disk, short-video) versions of the evaluation
+experiments; the benchmark suite runs the paper-scale versions.
+"""
+
+import pytest
+
+from repro import MB, SpiffiConfig, run_simulation
+from repro.prefetch import PrefetchSpec
+from repro.sched import SchedulerSpec
+
+
+def config(**overrides):
+    defaults = dict(
+        nodes=2,
+        disks_per_node=2,
+        terminals=50,
+        videos_per_disk=2,
+        video_length_s=600.0,
+        server_memory_bytes=256 * MB,
+        stripe_bytes=512 * 1024,
+        start_spread_s=5.0,
+        warmup_grace_s=10.0,
+        measure_s=45.0,
+        seed=21,
+    )
+    defaults.update(overrides)
+    return SpiffiConfig(**defaults)
+
+
+class TestStriping:
+    """§7.4: striping is necessary for disk utilization and capacity."""
+
+    def test_striped_beats_nonstriped_under_zipf(self):
+        # z = 1.5 concentrates ~61% of requests on the top video; its
+        # single disk saturates without striping.
+        striped = run_simulation(config(layout="striped", terminals=44,
+                                        zipf_skew=1.5))
+        non = run_simulation(config(layout="nonstriped", terminals=44,
+                                    zipf_skew=1.5))
+        assert striped.glitches == 0
+        assert non.glitches > 0
+
+    def test_nonstriped_leaves_disks_idle(self):
+        non = run_simulation(config(layout="nonstriped", terminals=24))
+        striped = run_simulation(config(layout="striped", terminals=24))
+        # Hot disks + idle disks: utilization spread is much wider
+        # without striping.
+        spread_non = non.disk_utilization_max - non.disk_utilization_min
+        spread_striped = striped.disk_utilization_max - striped.disk_utilization_min
+        assert spread_non > spread_striped
+
+
+class TestSchedulers:
+    """§7.2: round-robin loses; elevator and real-time are close."""
+
+    def test_round_robin_glitches_before_elevator(self):
+        load = 56
+        rr = run_simulation(config(scheduler=SchedulerSpec("round_robin"),
+                                   terminals=load))
+        elevator = run_simulation(config(scheduler=SchedulerSpec("elevator"),
+                                         terminals=load))
+        assert rr.glitches >= elevator.glitches
+
+    def test_realtime_matches_elevator_at_512k(self):
+        load = 50
+        rt = run_simulation(config(
+            scheduler=SchedulerSpec("realtime"),
+            prefetch=PrefetchSpec("realtime", processes_per_disk=4, depth=2),
+            terminals=load,
+        ))
+        elevator = run_simulation(config(terminals=load))
+        assert rt.glitches == elevator.glitches == 0
+
+
+class TestMemoryAlgorithms:
+    """§7.3: love prefetch needs less memory than global LRU."""
+
+    def test_love_wastes_fewer_prefetches_at_low_memory(self):
+        low = 24 * MB
+        lru = run_simulation(config(
+            server_memory_bytes=low, replacement_policy="global_lru",
+            prefetch=PrefetchSpec("standard", pool_share=0.5), terminals=40,
+        ))
+        love = run_simulation(config(
+            server_memory_bytes=low, replacement_policy="love_prefetch",
+            prefetch=PrefetchSpec("standard", pool_share=0.5), terminals=40,
+        ))
+        assert love.wasted_prefetches <= lru.wasted_prefetches
+        assert love.glitches <= lru.glitches
+
+    def test_delayed_prefetch_eliminates_waste(self):
+        rt = dict(scheduler=SchedulerSpec("realtime"), terminals=40,
+                  server_memory_bytes=48 * MB,
+                  replacement_policy="love_prefetch")
+        undelayed = run_simulation(config(
+            prefetch=PrefetchSpec("realtime", processes_per_disk=4, depth=4),
+            **rt,
+        ))
+        delayed = run_simulation(config(
+            prefetch=PrefetchSpec("delayed", processes_per_disk=4, depth=4,
+                                  max_advance_s=8.0),
+            **rt,
+        ))
+        assert delayed.wasted_prefetches <= undelayed.wasted_prefetches
+
+
+class TestAccessSkew:
+    """§7.5: skewed access shares pages once memory allows it."""
+
+    def test_skew_raises_rereference_rate(self):
+        steep = run_simulation(config(access_model="zipf", zipf_skew=1.5,
+                                      terminals=40))
+        uniform = run_simulation(config(access_model="uniform", terminals=40))
+        assert steep.rereference_rate > uniform.rereference_rate
+
+
+class TestScaleup:
+    """§7.6 shape: doubling disks (and memory, videos) roughly doubles
+    the load carried at the same per-disk utilization."""
+
+    def test_doubling_disks_carries_double_load(self):
+        small = run_simulation(config(terminals=40))
+        big = run_simulation(config(
+            disks_per_node=4,
+            server_memory_bytes=512 * MB,
+            terminals=80,
+        ))
+        assert small.glitches == 0
+        assert big.glitches == 0
+        # Same per-disk load regime after doubling everything.
+        assert big.disk_utilization_mean == pytest.approx(
+            small.disk_utilization_mean, abs=0.25
+        )
+
+
+class TestPause:
+    """§8.1: pausing does not hurt capacity."""
+
+    def test_pause_no_extra_glitches(self):
+        from repro.terminal import PauseModel
+
+        base = config(terminals=50)
+        paused = base.replace(
+            pause_model=PauseModel(enabled=True, mean_pauses_per_video=2.0,
+                                   mean_pause_duration_s=30.0)
+        )
+        assert run_simulation(paused).glitches <= run_simulation(base).glitches
+
+
+class TestNetworkScaling:
+    """Figure 18 shape: peak bandwidth ≈ terminals × video bit rate."""
+
+    def test_per_terminal_bandwidth_near_bit_rate(self):
+        metrics = run_simulation(config(terminals=40))
+        per_terminal_bits = metrics.network_peak_bytes_per_s * 8 / 40
+        assert 3e6 <= per_terminal_bits <= 9e6

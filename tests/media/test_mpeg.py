@@ -1,0 +1,131 @@
+"""Tests for the MPEG frame model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media import FRAME_B, FRAME_I, FRAME_P, GOP_PATTERN, FrameSequence, MpegProfile
+
+
+class TestMpegProfile:
+    def test_gop_frequency_ratio_is_1_4_10(self):
+        pattern = np.asarray(GOP_PATTERN)
+        assert (pattern == FRAME_I).sum() == 1
+        assert (pattern == FRAME_P).sum() == 4
+        assert (pattern == FRAME_B).sum() == 10
+
+    def test_mean_frame_bytes_matches_bit_rate(self):
+        profile = MpegProfile()
+        # 4 Mbit/s at 30 fps.
+        assert profile.mean_frame_bytes == pytest.approx(4e6 / 8 / 30)
+
+    def test_type_means_honour_both_ratios(self):
+        profile = MpegProfile()
+        mean_i, mean_p, mean_b = profile.mean_type_bytes()
+        assert mean_i / mean_b == pytest.approx(5.0)  # 10:2
+        assert mean_p / mean_b == pytest.approx(2.5)  # 5:2
+        pattern_mean = (1 * mean_i + 4 * mean_p + 10 * mean_b) / 15
+        assert pattern_mean == pytest.approx(profile.mean_frame_bytes)
+
+
+class TestFrameSequence:
+    def make(self, duration=10.0, seed=0):
+        return FrameSequence(MpegProfile(), duration, seed)
+
+    def test_frame_count(self):
+        seq = self.make(duration=10.0)
+        assert seq.frame_count == 300
+
+    def test_same_seed_same_sequence(self):
+        a, b = self.make(seed=5), self.make(seed=5)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_different_seed_different_sizes(self):
+        assert not np.array_equal(self.make(seed=1).sizes, self.make(seed=2).sizes)
+
+    def test_total_bytes_near_bit_rate(self):
+        seq = self.make(duration=600.0)
+        expected = 4e6 / 8 * 600
+        assert seq.total_bytes == pytest.approx(expected, rel=0.05)
+
+    def test_cumulative_strictly_increasing(self):
+        seq = self.make()
+        assert (np.diff(seq.cumulative) > 0).all()
+        assert seq.cumulative[0] == 0
+        assert seq.cumulative[-1] == seq.total_bytes
+
+    def test_frame_of_byte_boundaries(self):
+        seq = self.make()
+        assert seq.frame_of_byte(0) == 0
+        first = int(seq.sizes[0])
+        assert seq.frame_of_byte(first - 1) == 0
+        assert seq.frame_of_byte(first) == 1
+        assert seq.frame_of_byte(seq.total_bytes - 1) == seq.frame_count - 1
+
+    def test_frame_of_byte_out_of_range(self):
+        seq = self.make()
+        with pytest.raises(ValueError):
+            seq.frame_of_byte(-1)
+        with pytest.raises(ValueError):
+            seq.frame_of_byte(seq.total_bytes)
+
+    def test_frames_displayable(self):
+        seq = self.make()
+        assert seq.frames_displayable(0) == 0
+        assert seq.frames_displayable(int(seq.sizes[0]) - 1) == 0
+        assert seq.frames_displayable(int(seq.sizes[0])) == 1
+        assert seq.frames_displayable(seq.total_bytes) == seq.frame_count
+
+    def test_block_count(self):
+        seq = self.make()
+        block = 64 * 1024
+        assert seq.block_count(block) == -(-seq.total_bytes // block)
+
+    def test_first_frames_of_blocks_contains_block_start(self):
+        seq = self.make()
+        block = 64 * 1024
+        first = seq.first_frames_of_blocks(block)
+        for k in (0, 1, len(first) // 2, len(first) - 1):
+            frame = int(first[k])
+            start = k * block
+            assert seq.cumulative[frame] <= start < seq.cumulative[frame + 1]
+
+    def test_last_frames_of_blocks_contains_block_end(self):
+        seq = self.make()
+        block = 64 * 1024
+        last = seq.last_frames_of_blocks(block)
+        for k in (0, 1, len(last) - 1):
+            frame = int(last[k])
+            end = min((k + 1) * block, seq.total_bytes) - 1
+            assert seq.cumulative[frame] <= end < seq.cumulative[frame + 1]
+
+    def test_first_last_frames_ordered(self):
+        seq = self.make()
+        block = 64 * 1024
+        first = seq.first_frames_of_blocks(block)
+        last = seq.last_frames_of_blocks(block)
+        assert (first <= last).all()
+        # Consecutive blocks overlap by at most one (straddling) frame.
+        assert (first[1:] >= last[:-1]).all()
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            self.make(duration=0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        block_kb=st.sampled_from([16, 64, 128, 512]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_block_frame_maps_consistent(self, seed, block_kb):
+        seq = FrameSequence(MpegProfile(), 5.0, seed)
+        block = block_kb * 1024
+        first = seq.first_frames_of_blocks(block)
+        last = seq.last_frames_of_blocks(block)
+        count = seq.block_count(block)
+        assert len(first) == len(last) == count
+        assert first[0] == 0
+        assert last[-1] == seq.frame_count - 1
+        assert (np.diff(first) >= 0).all()
+        assert (np.diff(last) >= 0).all()

@@ -1,0 +1,114 @@
+"""Tests for Video, BlockSchedule, VideoLibrary, and access models."""
+
+import pytest
+
+from repro.media import (
+    UniformAccess,
+    VideoLibrary,
+    ZipfianAccess,
+    clear_sequence_cache,
+    make_access_model,
+)
+from repro.media.mpeg import MpegProfile
+from repro.sim import RandomSource
+
+BLOCK = 64 * 1024
+
+
+@pytest.fixture()
+def library():
+    return VideoLibrary(video_count=4, duration_s=10.0, seed=1)
+
+
+class TestVideo:
+    def test_schedule_cached(self, library):
+        video = library[0]
+        assert video.schedule(BLOCK) is video.schedule(BLOCK)
+
+    def test_schedule_per_block_size(self, library):
+        video = library[0]
+        assert video.schedule(BLOCK) is not video.schedule(2 * BLOCK)
+
+    def test_duration(self, library):
+        assert library[0].duration_s == pytest.approx(10.0)
+
+
+class TestBlockSchedule:
+    def test_block_bytes_full_and_tail(self, library):
+        schedule = library[0].schedule(BLOCK)
+        assert schedule.block_bytes(0) == BLOCK
+        tail = schedule.block_bytes(schedule.block_count - 1)
+        assert 0 < tail <= BLOCK
+        total = sum(schedule.block_bytes(k) for k in range(schedule.block_count))
+        assert total == library[0].total_bytes
+
+    def test_block_bytes_bounds(self, library):
+        schedule = library[0].schedule(BLOCK)
+        with pytest.raises(ValueError):
+            schedule.block_bytes(-1)
+        with pytest.raises(ValueError):
+            schedule.block_bytes(schedule.block_count)
+
+    def test_delivered_bytes_caps_at_total(self, library):
+        schedule = library[0].schedule(BLOCK)
+        assert schedule.delivered_bytes(1) == BLOCK
+        assert (
+            schedule.delivered_bytes(schedule.block_count + 5)
+            == library[0].total_bytes
+        )
+
+
+class TestVideoLibrary:
+    def test_count_and_ids(self, library):
+        assert len(library) == 4
+        assert [video.video_id for video in library] == [0, 1, 2, 3]
+
+    def test_videos_differ(self, library):
+        assert library[0].total_bytes != library[1].total_bytes
+
+    def test_sequences_memoised_across_libraries(self):
+        a = VideoLibrary(2, 10.0, seed=9)
+        b = VideoLibrary(2, 10.0, seed=9)
+        assert a[0].sequence is b[0].sequence
+
+    def test_cache_clear(self):
+        a = VideoLibrary(1, 10.0, seed=9)
+        clear_sequence_cache()
+        b = VideoLibrary(1, 10.0, seed=9)
+        assert a[0].sequence is not b[0].sequence
+
+    def test_total_bytes(self, library):
+        assert library.total_bytes == sum(v.total_bytes for v in library)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoLibrary(0, 10.0)
+
+
+class TestAccessModels:
+    def test_factory(self):
+        assert isinstance(make_access_model("zipf", 8, 1.0), ZipfianAccess)
+        assert isinstance(make_access_model("uniform", 8), UniformAccess)
+        with pytest.raises(ValueError):
+            make_access_model("nope", 8)
+
+    def test_zipf_prefers_low_ranks(self):
+        bound = ZipfianAccess(16, 1.0).bind(RandomSource(4))
+        counts = [0] * 16
+        for _ in range(20000):
+            counts[bound.select()] += 1
+        assert counts[0] > counts[7] > counts[15]
+
+    def test_uniform_roughly_even(self):
+        bound = UniformAccess(4).bind(RandomSource(4))
+        counts = [0] * 4
+        n = 20000
+        for _ in range(n):
+            counts[bound.select()] += 1
+        for count in counts:
+            assert count / n == pytest.approx(0.25, abs=0.02)
+
+    def test_weights_align_with_figure8(self):
+        # Figure 8: with z=1 over 64 videos, rank 1 gets ~21% of accesses.
+        weights = ZipfianAccess(64, 1.0).weights()
+        assert weights[0] == pytest.approx(0.21, abs=0.01)

@@ -1,0 +1,118 @@
+"""Deeper scheduler properties: fairness, degeneracy, and ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    ElevatorScheduler,
+    GssScheduler,
+    RealTimeScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim import Environment
+from repro.storage.request import DiskRequest
+
+
+def req(env, cylinder, deadline=float("inf"), terminal=0):
+    return DiskRequest(env, cylinder * 1_310_720, 1024, cylinder,
+                       deadline=deadline, terminal_id=terminal)
+
+
+@given(cylinders=st.lists(st.integers(0, 100), min_size=2, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_property_elevator_serves_sweep_order(cylinders):
+    """Within one direction, elevator's service order is monotone in
+    cylinder until the sweep reverses (at most one reversal per drain
+    of a static queue)."""
+    env = Environment()
+    scheduler = ElevatorScheduler()
+    for cylinder in cylinders:
+        scheduler.push(req(env, cylinder))
+    head = 0
+    order = []
+    while len(scheduler):
+        request = scheduler.pop(0.0, head)
+        head = request.cylinder
+        order.append(request.cylinder)
+    # Split into monotone runs: a static queue drains in at most
+    # one ascending then one descending run (or vice versa).
+    runs = 1
+    direction = 0
+    for previous, current in zip(order, order[1:]):
+        step = (current > previous) - (current < previous)
+        if step != 0:
+            if direction != 0 and step != direction:
+                runs += 1
+            direction = step
+    assert runs <= 2
+
+
+@given(
+    cylinders=st.lists(st.integers(0, 100), min_size=1, max_size=15),
+    spacing=st.floats(0.5, 10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_realtime_one_class_equals_elevator(cylinders, spacing):
+    """With a single priority class every request is equal and the
+    real-time algorithm must produce exactly elevator order."""
+    env = Environment()
+    realtime = RealTimeScheduler(priority_classes=1, priority_spacing_s=spacing)
+    elevator = ElevatorScheduler()
+    for i, cylinder in enumerate(cylinders):
+        realtime.push(req(env, cylinder, deadline=float(i)))
+        elevator.push(req(env, cylinder, deadline=float(i)))
+    head_a = head_b = 0
+    while len(realtime):
+        a = realtime.pop(0.0, head_a)
+        b = elevator.pop(0.0, head_b)
+        head_a, head_b = a.cylinder, b.cylinder
+        assert a.cylinder == b.cylinder
+
+
+@given(terminals=st.lists(st.integers(0, 7), min_size=2, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_property_round_robin_fairness(terminals):
+    """No terminal is served twice before another waiting terminal is
+    served once (single-request-per-terminal gap bound)."""
+    env = Environment()
+    scheduler = RoundRobinScheduler()
+    for terminal in terminals:
+        scheduler.push(req(env, terminal * 10, terminal=terminal))
+    served = []
+    while len(scheduler):
+        served.append(scheduler.pop(0.0, 0).terminal_id)
+    # Between two services of terminal t, every other terminal that had
+    # a pending request at the first service appears at least once.
+    for i, t in enumerate(served):
+        try:
+            j = served.index(t, i + 1)
+        except ValueError:
+            continue
+        pending_between = set(served[i + 1:j])
+        still_pending = {x for x in served[i + 1:] if x != t}
+        # All distinct terminals served between the two services of t:
+        assert pending_between == {x for x in served[i + 1:j]}
+        # Fairness: at least one other terminal intervenes if any other
+        # terminal was still pending.
+        if still_pending:
+            assert pending_between
+
+
+@given(
+    group_count=st.integers(1, 5),
+    terminals=st.lists(st.integers(0, 9), min_size=1, max_size=25),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_gss_single_service_per_terminal_per_batch(group_count, terminals):
+    env = Environment()
+    scheduler = GssScheduler(groups=group_count)
+    for terminal in terminals:
+        scheduler.push(req(env, terminal * 7, terminal=terminal))
+    # Drain fully; every pushed request must come out exactly once.
+    seen = 0
+    head = 0
+    while len(scheduler):
+        request = scheduler.pop(0.0, head)
+        head = request.cylinder
+        seen += 1
+    assert seen == len(terminals)

@@ -1,0 +1,115 @@
+"""Tests for admission control."""
+
+import pytest
+
+from repro.analytic import StreamParameters
+from repro.server.admission import AdmissionController, AdmissionSpec
+from repro.sim import Environment
+from repro.storage import DriveParameters
+
+GB = 1024 ** 3
+
+
+class TestAdmissionSpec:
+    def test_none_has_no_limit(self):
+        spec = AdmissionSpec()
+        limit = spec.stream_limit(16, DriveParameters(), StreamParameters(), 5 * GB)
+        assert limit is None
+
+    def test_fixed_cap(self):
+        spec = AdmissionSpec(policy="fixed", max_streams=42)
+        assert spec.stream_limit(16, DriveParameters(), StreamParameters(), 5 * GB) == 42
+
+    def test_bandwidth_reservation(self):
+        spec = AdmissionSpec(policy="bandwidth", headroom=0.5)
+        limit = spec.stream_limit(16, DriveParameters(), StreamParameters(), 5 * GB)
+        # 16 disks * 7.4 MB/s * 0.5 / 0.5 MB/s ≈ 118 streams.
+        assert limit == int(16 * 7.4e6 * 0.5 / 5e5)
+
+    def test_analytic_bound_conservative(self):
+        spec = AdmissionSpec(policy="analytic")
+        analytic = spec.stream_limit(16, DriveParameters(), StreamParameters(), 5 * GB)
+        bandwidth = AdmissionSpec(policy="bandwidth", headroom=1.0).stream_limit(
+            16, DriveParameters(), StreamParameters(), 5 * GB
+        )
+        assert 0 < analytic < bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionSpec(policy="vibes")
+        with pytest.raises(ValueError):
+            AdmissionSpec(policy="fixed", max_streams=0)
+        with pytest.raises(ValueError):
+            AdmissionSpec(headroom=0.0)
+
+
+class TestAdmissionController:
+    def test_unlimited_admits_all(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=None)
+        for _ in range(100):
+            assert controller.request_slot().triggered
+        assert controller.queued == 0
+
+    def test_cap_queues_excess(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=2)
+        first = controller.request_slot()
+        second = controller.request_slot()
+        third = controller.request_slot()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert controller.queue_length == 1
+
+    def test_release_admits_waiter_fifo(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        waiter_a = controller.request_slot()
+        waiter_b = controller.request_slot()
+        controller.release_slot()
+        assert waiter_a.triggered
+        assert not waiter_b.triggered
+        controller.release_slot()
+        assert waiter_b.triggered
+
+    def test_wait_time_recorded(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        waiter = controller.request_slot()
+
+        def releaser(env):
+            yield env.timeout(7.0)
+            controller.release_slot()
+
+        env.process(releaser(env))
+        env.run(until=waiter)
+        assert controller.wait_times.maximum == pytest.approx(7.0)
+
+    def test_release_without_active_rejected(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        with pytest.raises(ValueError):
+            controller.release_slot()
+
+
+class TestEndToEndAdmission:
+    def test_fixed_cap_prevents_overload_glitches(self):
+        from repro import MB, SpiffiConfig, run_simulation
+
+        base = dict(
+            nodes=2, disks_per_node=2, videos_per_disk=2,
+            video_length_s=120.0, server_memory_bytes=128 * MB,
+            start_spread_s=3.0, warmup_grace_s=10.0, measure_s=40.0,
+            terminals=90,  # far beyond 4-disk capacity (~59)
+            seed=5,
+        )
+        unlimited = run_simulation(SpiffiConfig(**base))
+        capped = run_simulation(
+            SpiffiConfig(admission=AdmissionSpec(policy="fixed", max_streams=40), **base)
+        )
+        assert unlimited.glitches > 0
+        assert capped.glitches == 0
+        assert capped.admissions_queued > 0
+        assert capped.admission_mean_wait_s >= 0.0

@@ -1,0 +1,70 @@
+"""Tests for the piggybacking coordinator (§8.2)."""
+
+import pytest
+
+from repro.server import PiggybackCoordinator
+from repro.sim import Environment
+
+
+class TestPiggyback:
+    def test_disabled_returns_none(self):
+        env = Environment()
+        coordinator = PiggybackCoordinator(env, window_s=0.0)
+        assert coordinator.request_start(3) is None
+
+    def test_batch_launches_after_window(self):
+        env = Environment()
+        coordinator = PiggybackCoordinator(env, window_s=10.0)
+        launched = []
+
+        def starter(env, delay, tag):
+            yield env.timeout(delay)
+            event = coordinator.request_start(0)
+            yield event
+            launched.append((tag, env.now))
+
+        env.process(starter(env, 0.0, "first"))
+        env.process(starter(env, 4.0, "second"))
+        env.run()
+        # Both launch together, 10s after the batch opened.
+        assert launched == [("first", 10.0), ("second", 10.0)]
+        assert coordinator.terminals_batched == 1
+        assert coordinator.batches_launched == 1
+
+    def test_late_requester_opens_new_batch(self):
+        env = Environment()
+        coordinator = PiggybackCoordinator(env, window_s=5.0)
+        launched = []
+
+        def starter(env, delay, tag):
+            yield env.timeout(delay)
+            event = coordinator.request_start(0)
+            yield event
+            launched.append((tag, env.now))
+
+        env.process(starter(env, 0.0, "a"))
+        env.process(starter(env, 7.0, "b"))  # after batch a launched
+        env.run()
+        assert launched == [("a", 5.0), ("b", 12.0)]
+        assert coordinator.batches_launched == 2
+
+    def test_different_videos_different_batches(self):
+        env = Environment()
+        coordinator = PiggybackCoordinator(env, window_s=5.0)
+        coordinator.request_start(0)
+        coordinator.request_start(1)
+        assert coordinator.batches_launched == 2
+        assert coordinator.terminals_batched == 0
+
+    def test_sharing_fraction(self):
+        env = Environment()
+        coordinator = PiggybackCoordinator(env, window_s=5.0)
+        coordinator.request_start(0)
+        coordinator.request_start(0)
+        coordinator.request_start(0)
+        assert coordinator.sharing_fraction == pytest.approx(2 / 3)
+
+    def test_negative_window_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PiggybackCoordinator(env, window_s=-1.0)

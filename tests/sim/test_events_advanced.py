@@ -1,0 +1,175 @@
+"""Additional kernel coverage: event edge cases and condition events."""
+
+import pytest
+
+from repro.sim import Environment, Event, EventLifecycleError
+
+
+class TestEventStates:
+    def test_initial_state(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_is_error(self):
+        env = Environment()
+        with pytest.raises(EventLifecycleError):
+            env.event().value
+
+    def test_triggered_before_processed(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("x")
+        assert event.triggered
+        assert not event.processed
+        env.run()
+        assert event.processed
+        assert event.value == "x"
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_fail_after_succeed_is_error(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(EventLifecycleError):
+            event.fail(RuntimeError())
+
+    def test_defused_failure_does_not_crash(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("handled elsewhere"))
+        event.defuse()
+        env.run()  # must not raise
+
+
+class TestConditionEdgeCases:
+    def test_any_of_empty_fires_immediately(self):
+        env = Environment()
+        condition = env.any_of([])
+        assert condition.triggered
+        assert condition.value == {}
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        condition = env.all_of([])
+        assert condition.triggered
+
+    def test_all_of_with_already_processed_events(self):
+        env = Environment()
+        first = env.timeout(1)
+        env.run(until=2.0)
+        assert first.processed
+        waited = []
+
+        def proc(env):
+            yield env.all_of([first, env.timeout(3)])
+            waited.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert waited == [5.0]
+
+    def test_any_of_failure_propagates(self):
+        env = Environment()
+
+        class Boom(Exception):
+            pass
+
+        caught = []
+
+        def proc(env):
+            failing = env.event()
+            failing.fail(Boom())
+            try:
+                yield env.any_of([failing, env.timeout(10)])
+            except Boom:
+                caught.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert caught == [0.0]
+
+    def test_multiple_waiters_one_event(self):
+        env = Environment()
+        event = env.event()
+        woken = []
+
+        def waiter(env, tag):
+            value = yield event
+            woken.append((tag, value))
+
+        for tag in "abc":
+            env.process(waiter(env, tag))
+
+        def firer(env):
+            yield env.timeout(2)
+            event.succeed("go")
+
+        env.process(firer(env))
+        env.run()
+        assert woken == [("a", "go"), ("b", "go"), ("c", "go")]
+
+
+class TestProcessEdgeCases:
+    def test_nested_process_chains(self):
+        env = Environment()
+
+        def leaf(env):
+            yield env.timeout(1)
+            return "leaf"
+
+        def middle(env):
+            value = yield env.process(leaf(env))
+            return value + "+middle"
+
+        def root(env, out):
+            value = yield env.process(middle(env))
+            out.append(value)
+
+        out = []
+        env.process(root(env, out))
+        env.run()
+        assert out == ["leaf+middle"]
+
+    def test_process_name_from_generator(self):
+        env = Environment()
+
+        def my_activity(env):
+            yield env.timeout(1)
+
+        proc = env.process(my_activity(env))
+        assert proc.name == "my_activity"
+        named = env.process(my_activity(env), name="custom")
+        assert named.name == "custom"
+        env.run()
+
+    def test_interrupt_then_continue(self):
+        from repro.sim import Interrupt
+
+        env = Environment()
+        log = []
+
+        def resilient(env):
+            while True:
+                try:
+                    yield env.timeout(10)
+                    log.append(("slept", env.now))
+                    return
+                except Interrupt:
+                    log.append(("poked", env.now))
+
+        def poker(env, victim):
+            yield env.timeout(1)
+            victim.interrupt()
+            yield env.timeout(1)
+            victim.interrupt()
+
+        victim = env.process(resilient(env))
+        env.process(poker(env, victim))
+        env.run()
+        assert log == [("poked", 1.0), ("poked", 2.0), ("slept", 12.0)]

@@ -1,0 +1,124 @@
+"""Tests for the deterministic random streams and distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import DiscreteSampler, RandomSource, zipf_weights
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_spawn_is_stable_across_instances(self):
+        a = RandomSource(7).spawn("disk-3")
+        b = RandomSource(7).spawn("disk-3")
+        assert a.uniform() == b.uniform()
+
+    def test_spawn_labels_are_independent(self):
+        root = RandomSource(7)
+        assert root.spawn("x").uniform() != root.spawn("y").uniform()
+
+    def test_exponential_mean(self):
+        rng = RandomSource(3)
+        samples = [rng.exponential(2.0) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).exponential(0)
+
+    def test_poisson_mean(self):
+        rng = RandomSource(5)
+        samples = [rng.poisson(2.0) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_poisson_zero_mean(self):
+        assert RandomSource(1).poisson(0.0) == 0
+
+    def test_poisson_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).poisson(-1)
+
+    def test_randint_bounds(self):
+        rng = RandomSource(9)
+        values = {rng.randint(3, 5) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+
+class TestZipfWeights:
+    def test_sums_to_one(self):
+        assert sum(zipf_weights(64, 1.0)) == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(32, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_higher_skew_more_concentrated(self):
+        mild = zipf_weights(64, 0.5)
+        steep = zipf_weights(64, 1.5)
+        assert steep[0] > mild[0]
+        assert steep[-1] < mild[-1]
+
+    def test_rank_ratio_follows_power_law(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights[0] / weights[9] == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.5)
+
+    @given(
+        count=st.integers(min_value=1, max_value=200),
+        skew=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_valid_distribution(self, count, skew):
+        weights = zipf_weights(count, skew)
+        assert len(weights) == count
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+
+class TestDiscreteSampler:
+    def test_sampling_tracks_weights(self):
+        rng = RandomSource(11)
+        sampler = DiscreteSampler([0.7, 0.2, 0.1], rng)
+        counts = [0, 0, 0]
+        n = 30000
+        for _ in range(n):
+            counts[sampler.sample()] += 1
+        assert counts[0] / n == pytest.approx(0.7, abs=0.02)
+        assert counts[1] / n == pytest.approx(0.2, abs=0.02)
+        assert counts[2] / n == pytest.approx(0.1, abs=0.02)
+
+    def test_unnormalised_weights_accepted(self):
+        sampler = DiscreteSampler([7, 2, 1], RandomSource(1))
+        assert sum(sampler.weights) == pytest.approx(1.0)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteSampler([], RandomSource(1))
+
+    @given(seed=st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_samples_in_range(self, seed):
+        rng = RandomSource(seed)
+        sampler = DiscreteSampler([0.25, 0.5, 0.25], rng)
+        for _ in range(50):
+            assert 0 <= sampler.sample() <= 2

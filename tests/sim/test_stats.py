@@ -1,0 +1,123 @@
+"""Tests for statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim import BusyTracker, Tally, TimeWeighted, WindowedRate
+
+
+class TestTally:
+    def test_empty(self):
+        tally = Tally()
+        assert tally.count == 0
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+
+    def test_mean_min_max(self):
+        tally = Tally()
+        for value in (2.0, 4.0, 6.0):
+            tally.record(value)
+        assert tally.mean == pytest.approx(4.0)
+        assert tally.minimum == 2.0
+        assert tally.maximum == 6.0
+
+    def test_variance_matches_textbook(self):
+        tally = Tally()
+        values = [1.0, 2.0, 3.0, 4.0]
+        for value in values:
+            tally.record(value)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert tally.variance == pytest.approx(expected)
+        assert tally.stdev == pytest.approx(math.sqrt(expected))
+
+    def test_reset(self):
+        tally = Tally()
+        tally.record(10)
+        tally.reset()
+        assert tally.count == 0
+        assert tally.mean == 0.0
+
+
+class TestTimeWeighted:
+    def test_constant_level(self):
+        tw = TimeWeighted(now=0.0, level=3.0)
+        assert tw.mean(10.0) == pytest.approx(3.0)
+
+    def test_step_change(self):
+        tw = TimeWeighted(now=0.0, level=0.0)
+        tw.update(5.0, 10.0)  # level 0 for 5s, then 10
+        assert tw.mean(10.0) == pytest.approx(5.0)
+        assert tw.maximum == 10.0
+
+    def test_add_delta(self):
+        tw = TimeWeighted(now=0.0, level=1.0)
+        tw.add(2.0, +2.0)
+        assert tw.level == 3.0
+
+    def test_reset_keeps_level(self):
+        tw = TimeWeighted(now=0.0, level=4.0)
+        tw.update(5.0, 8.0)
+        tw.reset(5.0)
+        assert tw.mean(10.0) == pytest.approx(8.0)
+
+
+class TestBusyTracker:
+    def test_single_interval(self):
+        busy = BusyTracker(0.0)
+        busy.begin(2.0)
+        busy.end(5.0)
+        assert busy.utilization(10.0) == pytest.approx(0.3)
+
+    def test_nested_intervals_count_once(self):
+        busy = BusyTracker(0.0)
+        busy.begin(0.0)
+        busy.begin(1.0)
+        busy.end(2.0)
+        busy.end(4.0)
+        assert busy.busy_time(4.0) == pytest.approx(4.0)
+
+    def test_open_interval_counts_up_to_now(self):
+        busy = BusyTracker(0.0)
+        busy.begin(0.0)
+        assert busy.utilization(8.0) == pytest.approx(1.0)
+
+    def test_unbalanced_end_rejected(self):
+        busy = BusyTracker(0.0)
+        with pytest.raises(ValueError):
+            busy.end(1.0)
+
+    def test_reset_mid_busy(self):
+        busy = BusyTracker(0.0)
+        busy.begin(0.0)
+        busy.reset(10.0)
+        assert busy.utilization(20.0) == pytest.approx(1.0)
+
+
+class TestWindowedRate:
+    def test_peak_and_mean(self):
+        rate = WindowedRate(window=1.0, now=0.0)
+        rate.record(0.1, 100)
+        rate.record(0.2, 100)
+        rate.record(1.5, 50)
+        assert rate.peak_rate == pytest.approx(200.0)
+        assert rate.mean_rate(2.0) == pytest.approx(125.0)
+        assert rate.total == 250
+
+    def test_peak_includes_current_window(self):
+        rate = WindowedRate(window=1.0, now=0.0)
+        rate.record(0.5, 300)
+        assert rate.peak_rate == pytest.approx(300.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            WindowedRate(window=0.0)
+
+    def test_reset(self):
+        rate = WindowedRate(window=1.0, now=0.0)
+        rate.record(0.5, 100)
+        rate.reset(5.0)
+        assert rate.peak_rate == 0.0
+        rate.record(5.5, 40)
+        assert rate.peak_rate == pytest.approx(40.0)

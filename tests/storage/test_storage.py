@@ -1,0 +1,181 @@
+"""Tests for disk geometry, read-ahead cache, and the drive model."""
+
+import math
+
+import pytest
+
+from repro.sched import FcfsScheduler
+from repro.sim import Environment, RandomSource
+from repro.storage import (
+    DiskDrive,
+    DiskGeometry,
+    DiskRequest,
+    DriveParameters,
+    ReadAheadCache,
+)
+
+CYL = 1_310_720  # 1.25 MB
+
+
+class TestGeometry:
+    def test_cylinder_of(self):
+        geometry = DiskGeometry(CYL, 10 * CYL)
+        assert geometry.cylinder_of(0) == 0
+        assert geometry.cylinder_of(CYL - 1) == 0
+        assert geometry.cylinder_of(CYL) == 1
+        assert geometry.cylinder_count == 10
+
+    def test_out_of_range(self):
+        geometry = DiskGeometry(CYL, 2 * CYL)
+        with pytest.raises(ValueError):
+            geometry.cylinder_of(-1)
+        with pytest.raises(ValueError):
+            geometry.cylinder_of(2 * CYL)
+
+    def test_cylinders_crossed(self):
+        geometry = DiskGeometry(CYL, 10 * CYL)
+        assert geometry.cylinders_crossed(0, 1000) == 0
+        assert geometry.cylinders_crossed(CYL - 10, 20) == 1
+        assert geometry.cylinders_crossed(0, 2 * CYL + 1) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(0, CYL)
+        with pytest.raises(ValueError):
+            DiskGeometry(CYL, 0)
+
+
+class TestReadAheadCache:
+    def test_sequential_continuation_hits(self):
+        cache = ReadAheadCache(2, 128 * 1024)
+        assert cache.access(0, 1000) is False
+        assert cache.access(1000, 1000) is True
+        assert cache.access(2000, 1000) is True
+        assert cache.hits == 2
+
+    def test_non_sequential_misses(self):
+        cache = ReadAheadCache(2, 128 * 1024)
+        cache.access(0, 1000)
+        assert cache.access(5000, 1000) is False
+
+    def test_lru_context_eviction(self):
+        cache = ReadAheadCache(2, 128 * 1024)
+        cache.access(0, 100)        # context A ends at 100
+        cache.access(10_000, 100)   # context B ends at 10100
+        cache.access(20_000, 100)   # context C evicts A (LRU)
+        assert cache.access(10_100, 100) is True  # B survived
+        assert cache.access(100, 100) is False  # A is gone (evicts C)
+
+    def test_zero_contexts_never_hit(self):
+        cache = ReadAheadCache(0, 0)
+        cache.access(0, 100)
+        assert cache.access(100, 100) is False
+
+
+class TestDriveParameters:
+    def test_seek_time_zero_distance(self):
+        params = DriveParameters()
+        assert params.seek_time_s(0) == 0.0
+
+    def test_seek_time_curve(self):
+        params = DriveParameters()
+        expected = (0.75 + 0.283 * math.sqrt(100)) / 1000.0
+        assert params.seek_time_s(100) == pytest.approx(expected)
+
+    def test_seek_monotone(self):
+        params = DriveParameters()
+        assert params.seek_time_s(400) > params.seek_time_s(100) > 0
+
+    def test_transfer_rate(self):
+        params = DriveParameters()
+        assert params.transfer_time_s(7_400_000) == pytest.approx(1.0)
+
+    def test_negative_seek_rejected(self):
+        with pytest.raises(ValueError):
+            DriveParameters().seek_time_s(-1)
+
+
+def make_drive(env, capacity_cylinders=100):
+    params = DriveParameters()
+    geometry = DiskGeometry(params.cylinder_bytes, capacity_cylinders * params.cylinder_bytes)
+    return DiskDrive(env, 0, params, geometry, FcfsScheduler(), RandomSource(1))
+
+
+class TestDiskDrive:
+    def test_completes_request_with_plausible_service_time(self):
+        env = Environment()
+        drive = make_drive(env)
+        request = DiskRequest(env, byte_offset=50 * CYL, size=512 * 1024, cylinder=50)
+        drive.submit(request)
+        env.run(until=request.done)
+        # Transfer alone is 512KB / 7.4MB/s ≈ 69 ms; with seek+latency
+        # the total must be between that and ~100 ms.
+        assert 0.069 <= env.now <= 0.105
+        assert drive.reads == 1
+        assert drive.bytes_read == 512 * 1024
+
+    def test_sequential_read_skips_positioning(self):
+        env = Environment()
+        drive = make_drive(env)
+        first = DiskRequest(env, byte_offset=0, size=128 * 1024, cylinder=0)
+        drive.submit(first)
+        env.run(until=first.done)
+        start = env.now
+        second = DiskRequest(env, byte_offset=128 * 1024, size=128 * 1024, cylinder=0)
+        drive.submit(second)
+        env.run(until=second.done)
+        transfer = DriveParameters().transfer_time_s(128 * 1024)
+        assert env.now - start == pytest.approx(transfer)
+
+    def test_busy_tracking(self):
+        env = Environment()
+        drive = make_drive(env)
+        request = DiskRequest(env, byte_offset=0, size=512 * 1024, cylinder=0)
+        drive.submit(request)
+        env.run(until=request.done)
+        busy_end = env.now
+        # Idle afterwards halves utilization.
+        env.timeout(busy_end)
+        env.run(until=2 * busy_end)
+        assert drive.utilization() == pytest.approx(0.5, abs=0.01)
+
+    def test_requests_queue_one_at_a_time(self):
+        env = Environment()
+        drive = make_drive(env)
+        first = DiskRequest(env, byte_offset=0, size=512 * 1024, cylinder=0)
+        second = DiskRequest(env, byte_offset=90 * CYL, size=512 * 1024, cylinder=90)
+        drive.submit(first)
+        drive.submit(second)
+        env.run(until=second.done)
+        assert first.completed_at < second.completed_at
+        assert second.started_at >= first.completed_at
+
+    def test_reset_stats(self):
+        env = Environment()
+        drive = make_drive(env)
+        request = DiskRequest(env, byte_offset=0, size=512 * 1024, cylinder=0)
+        drive.submit(request)
+        env.run(until=request.done)
+        drive.reset_stats()
+        assert drive.reads == 0
+        assert drive.busy.busy_time(env.now) == 0.0
+
+
+class TestDiskRequest:
+    def test_tighten_deadline_only_earlier(self):
+        env = Environment()
+        request = DiskRequest(env, 0, 1024, 0, deadline=100.0)
+        request.tighten_deadline(50.0)
+        assert request.deadline == 50.0
+        request.tighten_deadline(80.0)
+        assert request.deadline == 50.0
+
+    def test_slack(self):
+        env = Environment()
+        request = DiskRequest(env, 0, 1024, 0, deadline=10.0)
+        assert request.slack == pytest.approx(10.0)
+
+    def test_size_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            DiskRequest(env, 0, 0, 0)
