@@ -11,7 +11,6 @@ import dataclasses
 from repro.core.system import run_simulation
 from repro.experiments.presets import elevator_bundle, paper_config, realtime_bundle
 from repro.experiments.report import format_table, publish
-from repro.prefetch import PrefetchSpec
 
 
 def run_ablation():

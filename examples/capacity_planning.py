@@ -10,7 +10,7 @@ big disks on cost per terminal, even when they lose on cost per Mbyte.
 Run:  python examples/capacity_planning.py           (about a minute)
 """
 
-from repro import MB, SpiffiConfig, run_simulation
+from repro import MB, SpiffiConfig
 from repro.experiments import find_max_terminals, format_table
 
 #: Candidate servers, all storing the same 8-video library.

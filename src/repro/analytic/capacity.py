@@ -22,7 +22,6 @@ period?
 from __future__ import annotations
 
 import dataclasses
-import math
 
 from repro.storage.drive import DriveParameters
 

@@ -54,6 +54,13 @@ class RunMetrics:
     # Admission control (only non-zero when a policy is enforced).
     admissions_queued: int
     admission_mean_wait_s: float
+    # Execution accounting (stamped by ``run_simulation`` via
+    # ``repro.telemetry.runstats``; zero when a system is run directly).
+    # Wall time is host-dependent, so it does not participate in
+    # equality: two runs of the same config compare equal.  The event
+    # count is deterministic and does participate.
+    wall_time_s: float = dataclasses.field(default=0.0, compare=False)
+    events_processed: int = 0
 
     @property
     def glitch_free(self) -> bool:
@@ -62,6 +69,13 @@ class RunMetrics:
     @property
     def network_peak_mbytes_per_s(self) -> float:
         return self.network_peak_bytes_per_s / MB
+
+    def deterministic_dict(self) -> dict:
+        """All fields except host-dependent wall time, for comparing
+        runs across executors, job counts, and submission orders."""
+        values = dataclasses.asdict(self)
+        values.pop("wall_time_s")
+        return values
 
     def summary(self) -> str:
         return (

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 import typing
 
 from repro.bufferpool.policies import make_policy
@@ -233,5 +234,17 @@ class SpiffiSystem:
 
 
 def run_simulation(config: SpiffiConfig) -> RunMetrics:
-    """Build and run one simulation; the one-call public entry point."""
-    return SpiffiSystem(config).run()
+    """Build and run one simulation; the one-call public entry point.
+
+    The returned metrics carry execution accounting (wall time and
+    simulator events processed, covering construction plus the run) so
+    sweeps can report per-run cost.
+    """
+    from repro.telemetry.runstats import RunStopwatch
+
+    started = time.perf_counter()
+    system = SpiffiSystem(config)
+    with RunStopwatch(system.env) as watch:
+        metrics = system.run()
+    watch.wall_time_s = time.perf_counter() - started
+    return watch.stamp(metrics)

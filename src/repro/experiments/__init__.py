@@ -1,5 +1,5 @@
 """Experiment harness: max-terminal search, presets, figure and table
-drivers, and report formatting."""
+drivers, the parallel run executor, and report formatting."""
 
 from repro.experiments.presets import (
     HINTS,
@@ -8,22 +8,60 @@ from repro.experiments.presets import (
     elevator_bundle,
     paper_config,
     realtime_bundle,
+    set_bench_scale,
 )
 from repro.experiments.report import format_table, publish
-from repro.experiments.results import ExperimentResult
-from repro.experiments.search import Probe, SearchResult, find_max_terminals
+from repro.experiments.results import (
+    ExperimentResult,
+    RunCache,
+    config_digest,
+)
+from repro.experiments.runner import (
+    ProcessExecutor,
+    Runner,
+    RunOutcome,
+    RunRequest,
+    SearchCell,
+    SerialExecutor,
+    default_runner,
+    run_grid,
+    search_grid,
+    set_default_runner,
+    using_runner,
+)
+from repro.experiments.search import (
+    Probe,
+    SearchResult,
+    find_max_terminals,
+    plan_probes,
+)
 
 __all__ = [
     "BenchScale",
     "ExperimentResult",
     "HINTS",
     "Probe",
+    "ProcessExecutor",
+    "RunCache",
+    "RunOutcome",
+    "RunRequest",
+    "Runner",
+    "SearchCell",
     "SearchResult",
+    "SerialExecutor",
     "bench_scale",
+    "config_digest",
+    "default_runner",
     "elevator_bundle",
     "find_max_terminals",
     "format_table",
     "paper_config",
+    "plan_probes",
     "publish",
     "realtime_bundle",
+    "run_grid",
+    "search_grid",
+    "set_bench_scale",
+    "set_default_runner",
+    "using_runner",
 ]

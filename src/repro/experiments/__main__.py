@@ -4,15 +4,36 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments fig10 fig11
-    REPRO_BENCH_SCALE=quick python -m repro.experiments all
+    python -m repro.experiments all --scale quick --jobs 4
+    python -m repro.experiments table2 --no-cache
+
+``--jobs N`` fans simulation runs out over N worker processes; results
+are bit-identical to a serial run.  Completed runs are cached on disk
+(keyed by a content hash of the full configuration), so re-running an
+experiment replays its probe plan against the cache and finishes
+without simulating; ``--no-cache`` forces recomputation.  ``--scale``
+selects the bench scale (quick/default/full; ``paper`` = ``full``),
+falling back to the ``REPRO_BENCH_SCALE`` environment variable.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import threading
+import time
 
 from repro.experiments import figures, tables
+from repro.experiments.presets import bench_scale, set_bench_scale
 from repro.experiments.report import publish
+from repro.experiments.results import RunCache, default_cache_root
+from repro.experiments.runner import (
+    ProcessExecutor,
+    Runner,
+    RunOutcome,
+    SerialExecutor,
+    using_runner,
+)
 
 EXPERIMENTS = {
     "fig08": figures.fig08_zipf,
@@ -33,21 +54,119 @@ EXPERIMENTS = {
 }
 
 
+class _ProgressPrinter:
+    """Thread-safe per-run progress lines for the experiment runner."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream or sys.stderr
+        self.runs = 0
+        self.cached = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, outcome: RunOutcome) -> None:
+        metrics = outcome.metrics
+        events = getattr(metrics, "events_processed", 0)
+        with self._lock:
+            self.runs += 1
+            self.cached += 1 if outcome.cached else 0
+            status = "cache" if outcome.cached else f"{outcome.wall_time_s:6.2f}s"
+            print(
+                f"  [{status}] {outcome.tag or 'run'}: "
+                f"terminals={metrics.terminals} glitches={metrics.glitches} "
+                f"events={events}",
+                file=self.stream,
+            )
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="experiment",
+        help="experiment ids (fig08..fig19, table2, table3, sec82), "
+        "'all', or 'list'",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation runs (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the on-disk run cache",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "default", "full", "paper"),
+        default=None,
+        help="bench scale (default: $REPRO_BENCH_SCALE or 'default'); "
+        "'paper' is an alias for 'full'",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-run progress lines",
+    )
+    return parser
+
+
+def _list() -> int:
+    print(__doc__)
+    print("Available experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help", "list"):
-        print(__doc__)
-        print("Available experiments:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        return 0
-    names = list(EXPERIMENTS) if argv == ["all"] else argv
+    args = _parser().parse_args(argv)
+    if not args.names or args.names == ["list"]:
+        return _list()
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for name in names:
-        result = EXPERIMENTS[name]()
-        publish(result.name, result.table())
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    set_bench_scale(args.scale)
+    try:
+        scale = bench_scale()
+        progress = None if args.quiet else _ProgressPrinter()
+        executor = ProcessExecutor(args.jobs) if args.jobs > 1 else SerialExecutor()
+        cache = None if args.no_cache else RunCache()
+        runner = Runner(executor=executor, cache=cache, progress=progress)
+        print(
+            f"scale={scale.name} jobs={args.jobs} "
+            f"cache={'off' if cache is None else default_cache_root()}",
+            file=sys.stderr,
+        )
+        try:
+            with using_runner(runner):
+                for name in names:
+                    started = time.perf_counter()
+                    result = EXPERIMENTS[name]()
+                    elapsed = time.perf_counter() - started
+                    publish(result.name, result.table())
+                    print(f"[{name}] finished in {elapsed:.1f}s", file=sys.stderr)
+        finally:
+            runner.close()
+        if progress is not None and progress.runs:
+            print(
+                f"{progress.runs} runs total, {progress.cached} from cache",
+                file=sys.stderr,
+            )
+    finally:
+        set_bench_scale(None)
     return 0
 
 

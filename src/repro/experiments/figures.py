@@ -4,12 +4,19 @@ Each ``figNN_*`` function runs the simulations behind one figure and
 returns an :class:`ExperimentResult` holding the same series the paper
 plots.  Absolute numbers depend on the (scaled) measurement windows —
 see EXPERIMENTS.md — but the shapes are the reproduction target.
+
+Every driver declares its grid of *independent* cells (scheduler x
+stripe size, memory sweep points, scaleup configs, ...) and submits the
+whole grid through the experiment runner (`repro.experiments.runner`)
+rather than looping over simulations itself, so a parallel runner can
+fan the entire figure out at once.  Cell hints are static — never
+derived from other cells' results — which keeps every cell independent
+and every table bit-identical no matter how it was executed.
 """
 
 from __future__ import annotations
 
-from repro.core.config import GB, MB, SpiffiConfig
-from repro.core.system import run_simulation
+from repro.core.config import MB, SpiffiConfig
 from repro.experiments.presets import (
     HINTS,
     bench_scale,
@@ -18,21 +25,23 @@ from repro.experiments.presets import (
     realtime_bundle,
 )
 from repro.experiments.results import ExperimentResult
-from repro.experiments.search import find_max_terminals
+from repro.experiments.runner import SearchCell, run_grid, search_grid
 from repro.media.access import UniformAccess, ZipfianAccess
 from repro.sched.registry import SchedulerSpec
 
 KB = 1024
 
 
-def _search(config: SpiffiConfig, hint: int) -> int:
+def _cell(tag: str, config: SpiffiConfig, hint: int) -> SearchCell:
+    """One max-terminals search at the active bench scale."""
     scale = bench_scale()
-    return find_max_terminals(
-        config,
+    return SearchCell(
+        tag=tag,
+        config=config,
         hint=hint,
         granularity=scale.granularity,
         replications=scale.replications,
-    ).max_terminals
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -74,10 +83,14 @@ def fig09_glitch_curve() -> ExperimentResult:
     base = paper_config(**elevator_bundle())
     hint = HINTS["elevator_512k_bigmem"]
     counts = [hint - 60, hint - 30, hint - 10, hint, hint + 10, hint + 30, hint + 60]
-    rows = []
-    for terminals in counts:
-        metrics = run_simulation(base.replace(terminals=terminals))
-        rows.append((terminals, metrics.glitches, metrics.glitching_terminals))
+    grid = [
+        (f"fig09 t={terminals}", base.replace(terminals=terminals))
+        for terminals in counts
+    ]
+    rows = [
+        (terminals, metrics.glitches, metrics.glitching_terminals)
+        for terminals, metrics in zip(counts, run_grid(grid))
+    ]
     return ExperimentResult(
         name="fig09",
         title="Figure 9: finding the maximum number of terminals without glitches",
@@ -118,17 +131,23 @@ def fig10_sched_stripe() -> ExperimentResult:
         ("real-time 3/4s", realtime_bundle(priority_classes=3)),
     ]
     base_hint = HINTS["elevator_512k_bigmem"]
-    headers = ("stripe KB",) + tuple(label for label, _ in schedulers)
-    rows = []
+    cells = []
     for stripe in scale.stripe_points:
-        row = [stripe // KB]
         for label, bundle in schedulers:
             hint = int(base_hint * _STRIPE_HINT_FACTOR.get(stripe, 0.8))
             if label == "round-robin":
                 hint = int(hint * 0.7)
-            config = paper_config(stripe_bytes=stripe, **bundle)
-            row.append(_search(config, hint))
-        rows.append(tuple(row))
+            cells.append(_cell(
+                f"fig10 {stripe // KB}KB {label}",
+                paper_config(stripe_bytes=stripe, **bundle),
+                hint,
+            ))
+    found = iter(search_grid(cells))
+    headers = ("stripe KB",) + tuple(label for label, _ in schedulers)
+    rows = [
+        tuple([stripe // KB] + [next(found).max_terminals for _ in schedulers])
+        for stripe in scale.stripe_points
+    ]
     return ExperimentResult(
         name="fig10",
         title="Figure 10: disk scheduling algorithms and stripe sizes "
@@ -143,22 +162,26 @@ def fig10_sched_stripe() -> ExperimentResult:
 # Figures 11/12 — server memory requirements
 # ---------------------------------------------------------------------------
 
-def _memory_sweep(variants, hint_key: str = "lowmem") -> ExperimentResult | tuple:
+def _memory_sweep(name: str, variants) -> tuple:
+    """Search every (memory point x variant) cell of a memory figure."""
     scale = bench_scale()
+    hint = HINTS["elevator_512k_bigmem"]
+    cells = [
+        _cell(
+            f"{name} {memory // MB}MB {label}",
+            paper_config(server_memory_bytes=memory, **overrides),
+            hint,
+        )
+        for memory in scale.memory_points
+        for label, overrides in variants
+    ]
+    found = iter(search_grid(cells))
     headers = ("server MB",) + tuple(label for label, _ in variants)
-    rows = []
-    hints = {label: HINTS["elevator_512k_bigmem"] for label, _ in variants}
-    for memory in scale.memory_points:
-        row = [memory // MB]
-        for label, overrides in variants:
-            config = paper_config(server_memory_bytes=memory, **overrides)
-            found = _search(config, hints[label])
-            # The capacity at the previous (smaller) memory point is a
-            # good starting hint for the next.
-            hints[label] = max(found, scale.granularity)
-            row.append(found)
-        rows.append(tuple(row))
-    return headers, tuple(rows)
+    rows = tuple(
+        tuple([memory // MB] + [next(found).max_terminals for _ in variants])
+        for memory in scale.memory_points
+    )
+    return headers, rows
 
 
 def fig11_memory_elevator() -> ExperimentResult:
@@ -168,7 +191,7 @@ def fig11_memory_elevator() -> ExperimentResult:
         ("global LRU", dict(replacement_policy="global_lru", **bundle)),
         ("love prefetch", dict(replacement_policy="love_prefetch", **bundle)),
     ]
-    headers, rows = _memory_sweep(variants)
+    headers, rows = _memory_sweep("fig11", variants)
     return ExperimentResult(
         name="fig11",
         title="Figure 11: reducing server memory requirements "
@@ -193,7 +216,7 @@ def fig12_memory_realtime() -> ExperimentResult:
             replacement_policy="love_prefetch",
             **realtime_bundle(prefetch_mode="delayed", max_advance_s=4.0))),
     ]
-    headers, rows = _memory_sweep(variants)
+    headers, rows = _memory_sweep("fig12", variants)
     return ExperimentResult(
         name="fig12",
         title="Figure 12: reducing server memory requirements "
@@ -224,17 +247,21 @@ def fig13_striping() -> ExperimentResult:
          dict(layout="nonstriped", access_model="uniform", **bundle),
          HINTS["nonstriped_uniform"]),
     ]
+    cells = [
+        _cell(
+            f"fig13 {memory // MB}MB {label}",
+            paper_config(server_memory_bytes=memory, **overrides),
+            hint,
+        )
+        for memory in scale.memory_points
+        for label, overrides, hint in variants
+    ]
+    found = iter(search_grid(cells))
     headers = ("server MB",) + tuple(label for label, _, _ in variants)
-    hints = {label: hint for label, _, hint in variants}
-    rows = []
-    for memory in scale.memory_points:
-        row = [memory // MB]
-        for label, overrides, _ in variants:
-            config = paper_config(server_memory_bytes=memory, **overrides)
-            found = _search(config, hints[label])
-            hints[label] = max(found, scale.granularity)
-            row.append(found)
-        rows.append(tuple(row))
+    rows = [
+        tuple([memory // MB] + [next(found).max_terminals for _ in variants])
+        for memory in scale.memory_points
+    ]
     return ExperimentResult(
         name="fig13",
         title="Figure 13: striped vs non-striped layouts "
@@ -260,20 +287,28 @@ def fig14_disk_utilization() -> ExperimentResult:
         ("non-striped/uniform", dict(layout="nonstriped", access_model="uniform"),
          HINTS["nonstriped_uniform"]),
     ]
-    rows = []
-    for label, overrides, hint in variants:
-        config = paper_config(**bundle, **overrides)
-        capacity = _search(config, hint)
-        at_capacity = run_simulation(config.replace(terminals=max(capacity, 10)))
-        rows.append(
-            (
-                label,
-                max(capacity, 10),
-                round(at_capacity.disk_utilization_mean, 3),
-                round(at_capacity.disk_utilization_min, 3),
-                round(at_capacity.disk_utilization_max, 3),
-            )
+    configs = [
+        paper_config(**bundle, **overrides) for _, overrides, _ in variants
+    ]
+    searches = search_grid([
+        _cell(f"fig14 {label}", config, hint)
+        for (label, _, hint), config in zip(variants, configs)
+    ])
+    capacities = [max(found.max_terminals, 10) for found in searches]
+    at_capacity = run_grid([
+        (f"fig14 {label} at capacity", config.replace(terminals=capacity))
+        for (label, _, _), config, capacity in zip(variants, configs, capacities)
+    ])
+    rows = [
+        (
+            label,
+            capacity,
+            round(metrics.disk_utilization_mean, 3),
+            round(metrics.disk_utilization_min, 3),
+            round(metrics.disk_utilization_max, 3),
         )
+        for (label, _, _), capacity, metrics in zip(variants, capacities, at_capacity)
+    ]
     return ExperimentResult(
         name="fig14",
         title="Figure 14: average disk utilization, striped vs non-striped "
@@ -300,19 +335,21 @@ def fig15_access_frequencies() -> ExperimentResult:
     """Max terminals vs memory for different access skews."""
     scale = bench_scale()
     bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    cells = [
+        _cell(
+            f"fig15 {memory // MB}MB {label}",
+            paper_config(server_memory_bytes=memory, **bundle, **overrides),
+            HINTS["striped"],
+        )
+        for memory in scale.memory_points
+        for label, overrides in _ACCESS_VARIANTS
+    ]
+    found = iter(search_grid(cells))
     headers = ("server MB",) + tuple(label for label, _ in _ACCESS_VARIANTS)
-    hints = {label: HINTS["striped"] for label, _ in _ACCESS_VARIANTS}
-    rows = []
-    for memory in scale.memory_points:
-        row = [memory // MB]
-        for label, overrides in _ACCESS_VARIANTS:
-            config = paper_config(
-                server_memory_bytes=memory, **bundle, **overrides
-            )
-            found = _search(config, hints[label])
-            hints[label] = max(found, scale.granularity)
-            row.append(found)
-        rows.append(tuple(row))
+    rows = tuple(
+        tuple([memory // MB] + [next(found).max_terminals for _ in _ACCESS_VARIANTS])
+        for memory in scale.memory_points
+    )
     return ExperimentResult(
         name="fig15",
         title="Figure 15: movie access frequencies "
@@ -328,21 +365,31 @@ def fig16_rereference_rate(terminals: int = 150) -> ExperimentResult:
     terminal, vs memory, per access skew (fixed load)."""
     scale = bench_scale()
     bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    grid = [
+        (
+            f"fig16 {memory // MB}MB {label}",
+            paper_config(
+                terminals=terminals,
+                server_memory_bytes=memory,
+                **bundle,
+                **overrides,
+            ),
+        )
+        for memory in scale.memory_points
+        for label, overrides in _ACCESS_VARIANTS
+    ]
+    metrics = iter(run_grid(grid))
     headers = ("server MB",) + tuple(label for label, _ in _ACCESS_VARIANTS)
-    rows = []
-    for memory in scale.memory_points:
-        row = [memory // MB]
-        for _, overrides in _ACCESS_VARIANTS:
-            metrics = run_simulation(
-                paper_config(
-                    terminals=terminals,
-                    server_memory_bytes=memory,
-                    **bundle,
-                    **overrides,
-                )
-            )
-            row.append(round(100.0 * metrics.rereference_rate, 1))
-        rows.append(tuple(row))
+    rows = [
+        tuple(
+            [memory // MB]
+            + [
+                round(100.0 * next(metrics).rereference_rate, 1)
+                for _ in _ACCESS_VARIANTS
+            ]
+        )
+        for memory in scale.memory_points
+    ]
     return ExperimentResult(
         name="fig16",
         title="Figure 16: % of buffer pool references previously referenced "
@@ -376,19 +423,26 @@ def _scaled_config(factor: int, terminals: int) -> SpiffiConfig:
     )
 
 
+def _scaleup_grid(name: str) -> list:
+    return run_grid([
+        (f"{name} x{factor}", _scaled_config(factor, terminals))
+        for factor, terminals in _SCALEUP_POINTS
+    ])
+
+
 def fig17_cpu_utilization() -> ExperimentResult:
     """CPU utilization as the system scales (4 CPUs throughout)."""
-    rows = []
-    for factor, terminals in _SCALEUP_POINTS:
-        metrics = run_simulation(_scaled_config(factor, terminals))
-        rows.append(
-            (
-                16 * factor,
-                terminals,
-                round(metrics.cpu_utilization_mean, 3),
-                round(metrics.disk_utilization_mean, 3),
-            )
+    rows = [
+        (
+            16 * factor,
+            terminals,
+            round(metrics.cpu_utilization_mean, 3),
+            round(metrics.disk_utilization_mean, 3),
         )
+        for (factor, terminals), metrics in zip(
+            _SCALEUP_POINTS, _scaleup_grid("fig17")
+        )
+    ]
     return ExperimentResult(
         name="fig17",
         title="Figure 17: CPU utilization under scaleup (4 CPUs)",
@@ -401,8 +455,9 @@ def fig17_cpu_utilization() -> ExperimentResult:
 def fig18_network_bandwidth() -> ExperimentResult:
     """Peak aggregate network bandwidth as the system scales."""
     rows = []
-    for factor, terminals in _SCALEUP_POINTS:
-        metrics = run_simulation(_scaled_config(factor, terminals))
+    for (factor, terminals), metrics in zip(
+        _SCALEUP_POINTS, _scaleup_grid("fig18")
+    ):
         per_terminal_mbits = (
             metrics.network_peak_bytes_per_s * 8 / 1e6 / terminals
         )
@@ -436,14 +491,20 @@ def fig19_pause() -> ExperimentResult:
         server_memory_bytes=512 * MB,
         **elevator_bundle(),
     )
-    rows = []
-    for label, model in (
+    variants = [
         ("no pauses", PauseModel(enabled=False)),
         ("2 pauses x 2min avg", PauseModel(enabled=True, mean_pauses_per_video=2.0,
                                            mean_pause_duration_s=120.0)),
-    ):
-        config = paper_config(pause_model=model, **bundle)
-        rows.append((label, _search(config, HINTS["striped"])))
+    ]
+    searches = search_grid([
+        _cell(f"fig19 {label}", paper_config(pause_model=model, **bundle),
+              HINTS["striped"])
+        for label, model in variants
+    ])
+    rows = [
+        (label, found.max_terminals)
+        for (label, _), found in zip(variants, searches)
+    ]
     return ExperimentResult(
         name="fig19",
         title="Figure 19: effect of pausing (max glitch-free terminals)",
@@ -474,13 +535,22 @@ def sec82_piggyback(window_s: float | None = None) -> ExperimentResult:
         start_spread_s=spread,
         **elevator_bundle(),
     )
-    rows = []
-    for label, window in (("no piggybacking", 0.0), (f"{window_s:g}s delay", window_s)):
-        config = paper_config(**bundle).replace(
-            piggyback_window_s=window,
-            warmup_grace_s=window + scale.warmup_grace_s,
+    variants = [("no piggybacking", 0.0), (f"{window_s:g}s delay", window_s)]
+    searches = search_grid([
+        _cell(
+            f"sec82 {label}",
+            paper_config(**bundle).replace(
+                piggyback_window_s=window,
+                warmup_grace_s=window + scale.warmup_grace_s,
+            ),
+            HINTS["striped"],
         )
-        rows.append((label, _search(config, HINTS["striped"])))
+        for label, window in variants
+    ])
+    rows = [
+        (label, found.max_terminals)
+        for (label, _), found in zip(variants, searches)
+    ]
     return ExperimentResult(
         name="sec82",
         title="Section 8.2: piggybacking terminals "

@@ -73,9 +73,33 @@ _SCALES = {
 }
 
 
+#: Process-wide scale override installed by ``--scale`` (takes
+#: precedence over the ``REPRO_BENCH_SCALE`` environment fallback).
+_SCALE_OVERRIDE: str | None = None
+
+#: Accepted spellings: ``paper`` is an alias for ``full`` (the paper's
+#: own measurement windows).
+SCALE_ALIASES = {"paper": "full"}
+
+
+def set_bench_scale(name: str | None) -> None:
+    """Install (or with None, clear) the active scale, overriding the
+    ``REPRO_BENCH_SCALE`` environment variable."""
+    global _SCALE_OVERRIDE
+    if name is not None:
+        name = SCALE_ALIASES.get(name, name)
+        if name not in _SCALES:
+            raise ValueError(f"scale {name!r} not recognised; choose from {SCALES}")
+    _SCALE_OVERRIDE = name
+
+
 def bench_scale() -> BenchScale:
-    """The active scale, from ``REPRO_BENCH_SCALE`` (default "default")."""
+    """The active scale: the :func:`set_bench_scale` override if
+    installed, else ``REPRO_BENCH_SCALE`` (default "default")."""
+    if _SCALE_OVERRIDE is not None:
+        return _SCALES[_SCALE_OVERRIDE]
     name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    name = SCALE_ALIASES.get(name, name)
     if name not in _SCALES:
         raise ValueError(
             f"REPRO_BENCH_SCALE={name!r} not recognised; choose from {SCALES}"

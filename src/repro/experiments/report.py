@@ -40,7 +40,14 @@ def results_dir() -> str:
 
 
 def publish(name: str, text: str) -> str:
-    """Print a result table and persist it under benchmarks/results/."""
+    """Print a result table and persist it under benchmarks/results/.
+
+    A scale footer is appended so result files are self-describing:
+    the same figure at ``quick`` and ``full`` scale differs materially.
+    """
+    from repro.experiments.presets import bench_scale
+
+    text = f"{text}\n\n[scale: {bench_scale().name}]"
     print()
     print(text)
     path = os.path.join(results_dir(), f"{name}.txt")

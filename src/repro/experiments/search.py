@@ -7,15 +7,33 @@ starting from a hint, then bisect down to a configurable granularity
 (the paper worked to about 10 terminals / 5%).  Optional replications
 re-run boundary points with different seeds, mirroring the paper's
 confidence procedure.
+
+The search is split in two for parallel execution:
+
+* :func:`plan_probes` — a *pure* planner: a generator that yields
+  batches of terminal counts to probe and receives their glitch-free
+  verdicts.  Batches arise from speculation (the bracketing ladder
+  probes several doubling steps at once; bisection probes several
+  candidate midpoints per round), so a parallel executor can fan a
+  whole batch out at once.  The plan depends only on the verdicts —
+  never on execution order or job count — so results are bit-identical
+  under any executor.
+* :func:`find_max_terminals` — drives the planner through a
+  :class:`~repro.experiments.runner.Runner`, fanning all replications
+  of every batch point out together.  The *full* planned batch is
+  always executed and recorded, so the probe evidence is
+  order-independent (a glitching replication no longer truncates the
+  record for its point).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.core.config import SpiffiConfig
 from repro.core.metrics import RunMetrics
-from repro.core.system import run_simulation
+from repro.experiments.runner import Runner, RunRequest, default_runner
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +67,124 @@ class SearchResult:
         return None
 
 
+#: How many points a single planner round may speculate on: ladder
+#: steps while bracketing, candidate midpoints while bisecting.  Fixed
+#: (never derived from the executor's job count) so the probe plan is
+#: identical no matter how the search is executed.
+SPECULATION = 2
+
+
+def plan_probes(
+    low: int,
+    high: int,
+    pivot: int,
+    granularity: int,
+    speculation: int = SPECULATION,
+) -> typing.Generator[tuple[int, ...], dict[int, bool], int]:
+    """Pure max-terminals probe planner.
+
+    Yields batches (tuples of terminal counts, every one a multiple of
+    *granularity* within [low, high]) and expects ``send()`` of a
+    ``{terminals: glitch_free}`` mapping covering the batch.  Returns
+    (via ``StopIteration.value``) the largest glitch-free count, or 0
+    if even *low* glitches.  Never asks about the same count twice.
+    """
+    if speculation < 1:
+        raise ValueError(f"speculation must be >= 1, got {speculation}")
+    verdicts: dict[int, bool] = {}
+
+    got = yield (pivot,)
+    verdicts.update(got)
+
+    # --- bracket the boundary ------------------------------------------
+    if verdicts[pivot]:
+        best, fail = pivot, None
+        step = granularity
+        while best < high:
+            # Speculative ladder: the next `speculation` doubling steps,
+            # assuming each one passes.
+            ladder: list[int] = []
+            point, size = best, step
+            for _ in range(speculation):
+                point = min(_snap(point + size, granularity), high)
+                if point <= (ladder[-1] if ladder else best):
+                    break
+                ladder.append(point)
+                size *= 2
+            if not ladder:
+                break
+            fresh = tuple(p for p in ladder if p not in verdicts)
+            if fresh:
+                got = yield fresh
+                verdicts.update(got)
+            for p in ladder:
+                if verdicts[p]:
+                    best = p
+                else:
+                    fail = p
+                    break
+            if fail is not None:
+                break
+            step = size
+        if fail is None:
+            return best
+    else:
+        fail, best = pivot, None
+        step = granularity
+        while best is None and fail > low:
+            ladder = []
+            point, size = fail, step
+            for _ in range(speculation):
+                point = max(_snap(point - size, granularity), low)
+                if point >= (ladder[-1] if ladder else fail):
+                    break
+                ladder.append(point)
+                size *= 2
+            if not ladder:
+                break
+            fresh = tuple(p for p in ladder if p not in verdicts)
+            if fresh:
+                got = yield fresh
+                verdicts.update(got)
+            for p in ladder:
+                if verdicts[p]:
+                    best = p
+                    break
+                fail = p
+            step = size
+        if best is None:
+            # Even the smallest load glitches: report zero capacity.
+            return 0
+
+    # --- bisect between best (glitch-free) and fail ---------------------
+    # Several candidate midpoints per round: with k candidates known,
+    # the bracket shrinks to ~1/(k+1) of its span every round whichever
+    # way the verdicts fall.
+    while fail - best > granularity:
+        span = fail - best
+        k = max(1, min(speculation, span // granularity - 1))
+        candidates: list[int] = []
+        for i in range(1, k + 1):
+            candidate = _snap(best + span * i // (k + 1), granularity)
+            if best < candidate < fail and (
+                not candidates or candidate > candidates[-1]
+            ):
+                candidates.append(candidate)
+        if not candidates:
+            break
+        fresh = tuple(c for c in candidates if c not in verdicts)
+        if fresh:
+            got = yield fresh
+            verdicts.update(got)
+        for candidate in candidates:
+            if verdicts[candidate]:
+                best = candidate
+            else:
+                fail = candidate
+                break
+    return best
+
+
 def find_max_terminals(
     config: SpiffiConfig,
     hint: int = 200,
@@ -56,12 +192,18 @@ def find_max_terminals(
     low: int = 10,
     high: int = 4000,
     replications: int = 1,
+    runner: Runner | None = None,
+    speculation: int = SPECULATION,
+    tag: str = "",
 ) -> SearchResult:
     """Largest terminal count (multiple of *granularity*) with zero
     glitches across *replications* seeded runs.
 
     *hint* seeds the bracketing phase; a good hint (e.g. the paper's own
-    number) keeps the search to a handful of simulation runs.
+    number) keeps the search to a handful of simulation runs.  Probes
+    are fanned out through *runner* (the ambient default when omitted)
+    batch by batch: all replications of every batch point run together,
+    and the result is identical for any executor or job count.
     """
     if granularity < 1:
         raise ValueError(f"granularity must be >= 1, got {granularity}")
@@ -71,68 +213,36 @@ def find_max_terminals(
     high = _snap(high, granularity)
     if low > high:
         raise ValueError(f"empty search range [{low}, {high}]")
+    runner = runner or default_runner()
 
-    probes: list[Probe] = []
-    verdicts: dict[int, bool] = {}
-
-    def glitch_free(terminals: int) -> bool:
-        if terminals in verdicts:
-            return verdicts[terminals]
-        ok = True
-        for replication in range(replications):
-            seed = config.seed + replication
-            metrics = run_simulation(
-                config.replace(terminals=terminals, seed=seed)
-            )
-            probes.append(Probe(terminals, seed, metrics))
-            if metrics.glitches > 0:
-                ok = False
-                break
-        verdicts[terminals] = ok
-        return ok
-
-    # --- bracket the boundary ------------------------------------------
     pivot = min(max(_snap(hint, granularity), low), high)
-    step = granularity
-    if glitch_free(pivot):
-        best, fail = pivot, None
-        while best < high:
-            probe_at = min(_snap(best + step, granularity), high)
-            if probe_at <= best:
-                break
-            if glitch_free(probe_at):
-                best = probe_at
-            else:
-                fail = probe_at
-                break
-            step *= 2
-        if fail is None:
-            return SearchResult(best, granularity, tuple(probes))
-    else:
-        fail, best = pivot, None
-        while fail > low:
-            probe_at = max(_snap(fail - step, granularity), low)
-            if probe_at >= fail:
-                break
-            if glitch_free(probe_at):
-                best = probe_at
-                break
-            fail = probe_at
-            step *= 2
-        if best is None:
-            # Even the smallest load glitches: report zero capacity.
-            return SearchResult(0, granularity, tuple(probes))
-
-    # --- bisect between best (glitch-free) and fail ---------------------
-    while fail - best > granularity:
-        middle = _snap(best + (fail - best) // 2, granularity)
-        if middle in (best, fail):
-            break
-        if glitch_free(middle):
-            best = middle
-        else:
-            fail = middle
-    return SearchResult(best, granularity, tuple(probes))
+    probes: list[Probe] = []
+    plan = plan_probes(low, high, pivot, granularity, speculation)
+    batch = next(plan)
+    while True:
+        seeds = [config.seed + replication for replication in range(replications)]
+        requests = [
+            RunRequest(
+                config.replace(terminals=terminals, seed=seed),
+                tag=f"{tag or 'search'} t={terminals} seed={seed}",
+            )
+            for terminals in batch
+            for seed in seeds
+        ]
+        outcomes = iter(runner.run_batch(requests))
+        verdicts: dict[int, bool] = {}
+        for terminals in batch:
+            ok = True
+            for seed in seeds:
+                metrics = next(outcomes).metrics
+                probes.append(Probe(terminals, seed, metrics))
+                if metrics.glitches > 0:
+                    ok = False
+            verdicts[terminals] = ok
+        try:
+            batch = plan.send(verdicts)
+        except StopIteration as stop:
+            return SearchResult(stop.value, granularity, tuple(probes))
 
 
 def _snap(value: int, granularity: int) -> int:

@@ -1,4 +1,10 @@
-"""Drivers regenerating the paper's Tables 2 and 3."""
+"""Drivers regenerating the paper's Tables 2 and 3.
+
+Like the figure drivers, each table declares its grid of independent
+search cells (configuration x scale factor) and submits the whole grid
+through the experiment runner; hints are static per cell so results
+never depend on execution order.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +17,7 @@ from repro.experiments.presets import (
     realtime_bundle,
 )
 from repro.experiments.results import ExperimentResult
-from repro.experiments.search import find_max_terminals
+from repro.experiments.runner import SearchCell, search_grid
 
 #: The four base configurations of Table 2 (16 disks each).  Memory and
 #: videos scale with the disk count; CPUs stay at 4.
@@ -52,14 +58,15 @@ def _scale_config(base_overrides: dict, factor: int) -> SpiffiConfig:
     return paper_config(**overrides)
 
 
-def _search(config: SpiffiConfig, hint: int) -> int:
+def _table_cell(tag: str, config: SpiffiConfig, hint: int) -> SearchCell:
     scale = bench_scale()
-    return find_max_terminals(
-        config,
+    return SearchCell(
+        tag=tag,
+        config=config,
         hint=hint,
         granularity=scale.granularity * (2 if config.disk_count > 16 else 1),
         replications=scale.replications,
-    ).max_terminals
+    )
 
 
 def table2_scaleup() -> ExperimentResult:
@@ -74,23 +81,34 @@ def table2_scaleup() -> ExperimentResult:
         "x2 disks", "x2 terms", "x2 ratio",
         "x4 disks", "x4 terms", "x4 ratio",
     )
-    rows = []
+    cells = []
+    configs = {}
     for label, overrides in TABLE2_CONFIGS:
-        base_terms = None
-        row: list = [label]
         for factor in SCALE_FACTORS:
             config = _scale_config(overrides, factor)
-            if base_terms is None:
-                hint = HINTS["elevator_512k_bigmem"]
-            else:
-                hint = base_terms * factor
-            found = _search(config, hint)
+            configs[(label, factor)] = config
+            cells.append(_table_cell(
+                f"table2 {label} x{factor}",
+                config,
+                HINTS["elevator_512k_bigmem"] * factor,
+            ))
+    found = iter(search_grid(cells))
+    capacities = {
+        key: search.max_terminals
+        for key, search in zip(configs, found)
+    }
+    rows = []
+    for label, _ in TABLE2_CONFIGS:
+        base_terms = max(capacities[(label, 1)], 1)
+        row: list = [label]
+        for factor in SCALE_FACTORS:
+            config = configs[(label, factor)]
+            terminals = capacities[(label, factor)]
             if factor == 1:
-                base_terms = max(found, 1)
-                row.extend([config.disk_count, found])
+                row.extend([config.disk_count, terminals])
             else:
-                ratio = found / (base_terms * factor)
-                row.extend([config.disk_count, found, f"({ratio:.2f})"])
+                ratio = terminals / (base_terms * factor)
+                row.extend([config.disk_count, terminals, f"({ratio:.2f})"])
         rows.append(tuple(row))
     return ExperimentResult(
         name="table2",
@@ -120,7 +138,7 @@ def table3_disk_cost(measured_terminals: dict[int, int] | None = None) -> Experi
     """
     scale = bench_scale()
     if measured_terminals is None:
-        measured_terminals = {}
+        cells = []
         for disks, _, _ in TABLE3_DISK_OPTIONS:
             factor = disks // 16
             overrides = dict(TABLE2_CONFIGS[3][1])
@@ -128,9 +146,15 @@ def table3_disk_cost(measured_terminals: dict[int, int] | None = None) -> Experi
             overrides["disks_per_node"] = disks // 4
             # Table 3 holds the library at 64 videos regardless of disks.
             overrides["videos_per_disk"] = max(1, 64 // disks)
-            config = paper_config(**overrides)
-            hint = HINTS["elevator_512k_bigmem"] * factor
-            measured_terminals[disks] = _search(config, hint)
+            cells.append(_table_cell(
+                f"table3 {disks} disks",
+                paper_config(**overrides),
+                HINTS["elevator_512k_bigmem"] * factor,
+            ))
+        measured_terminals = {
+            disks: search.max_terminals
+            for (disks, _, _), search in zip(TABLE3_DISK_OPTIONS, search_grid(cells))
+        }
     rows = []
     for disks, capacity_gb, dollars in TABLE3_DISK_OPTIONS:
         terminals = measured_terminals[disks]

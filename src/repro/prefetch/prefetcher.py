@@ -13,7 +13,7 @@ import dataclasses
 import itertools
 import typing
 
-from repro.bufferpool.pool import MISS, BufferPool
+from repro.bufferpool.pool import BufferPool
 from repro.prefetch.spec import PrefetchSpec
 from repro.sim.environment import Environment
 from repro.sim.resources import Gate, PriorityStore, Store

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.bufferpool.pool import HIT, INFLIGHT, MISS, BufferPool
+from repro.bufferpool.pool import INFLIGHT, MISS, BufferPool
 from repro.cpu.costs import CpuParameters
 from repro.cpu.processor import Processor
 from repro.layout.base import Placement

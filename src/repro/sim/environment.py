@@ -28,6 +28,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
+        #: Lifetime count of events executed by :meth:`step` — the
+        #: simulator's work measure, read by ``repro.telemetry.runstats``.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -78,6 +81,7 @@ class Environment:
             raise SimError("step() on an empty event queue")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:

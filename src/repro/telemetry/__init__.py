@@ -1,6 +1,14 @@
-"""Observation layer: event tracing and periodic state sampling."""
+"""Observation layer: event tracing, periodic state sampling, and
+per-run execution accounting."""
 
+from repro.telemetry.runstats import RunStopwatch
 from repro.telemetry.sampler import PeriodicSampler, standard_probes
 from repro.telemetry.trace import TraceEvent, TraceRecorder
 
-__all__ = ["PeriodicSampler", "TraceEvent", "TraceRecorder", "standard_probes"]
+__all__ = [
+    "PeriodicSampler",
+    "RunStopwatch",
+    "TraceEvent",
+    "TraceRecorder",
+    "standard_probes",
+]

@@ -1,0 +1,46 @@
+"""Per-run execution accounting: wall time and simulator event counts.
+
+The paper reports up to 10 hours of simulation per 64-disk
+configuration; our reproduction tracks how long each run really takes
+(host wall time) and how much work the discrete-event kernel did
+(events processed), so experiment drivers can report throughput and the
+parallel runner can show per-run progress.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.metrics import RunMetrics
+from repro.sim.environment import Environment
+
+
+class RunStopwatch:
+    """Context manager measuring one simulation's execution.
+
+    Captures host wall time across the ``with`` block and the number of
+    simulator events the :class:`Environment` processed inside it.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.wall_time_s = 0.0
+        self.events_processed = 0
+
+    def __enter__(self) -> "RunStopwatch":
+        self._events_at_start = self.env.events_processed
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.wall_time_s = time.perf_counter() - self._started
+        self.events_processed = self.env.events_processed - self._events_at_start
+
+    def stamp(self, metrics: RunMetrics) -> RunMetrics:
+        """The metrics with this stopwatch's accounting filled in."""
+        return dataclasses.replace(
+            metrics,
+            wall_time_s=self.wall_time_s,
+            events_processed=self.events_processed,
+        )

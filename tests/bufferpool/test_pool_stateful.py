@@ -5,7 +5,6 @@ against both replacement policies, checking structural invariants the
 simulator relies on after every step.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule

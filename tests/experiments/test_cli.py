@@ -1,6 +1,5 @@
 """Tests for the `python -m repro.experiments` command line."""
 
-import pytest
 
 from repro.experiments.__main__ import EXPERIMENTS, main
 
@@ -28,3 +27,32 @@ class TestCli:
         assert main(["fig08"]) == 0
         out = capsys.readouterr().out
         assert "Figure 8" in out
+
+    def test_scale_flag_stamps_output(self, capsys):
+        assert main(["fig08", "--scale", "quick"]) == 0
+        assert "[scale: quick]" in capsys.readouterr().out
+
+    def test_scale_flag_overrides_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert main(["fig08", "--scale", "quick"]) == 0
+        assert "[scale: quick]" in capsys.readouterr().out
+
+    def test_paper_scale_alias(self, capsys):
+        assert main(["fig08", "--scale", "paper"]) == 0
+        assert "[scale: full]" in capsys.readouterr().out
+
+    def test_scale_flag_does_not_leak(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert main(["fig08", "--scale", "quick"]) == 0
+        capsys.readouterr()
+        assert main(["fig08"]) == 0
+        assert "[scale: default]" in capsys.readouterr().out
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(["fig08", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_and_cache_flags_accepted(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_CACHE", str(tmp_path / "cache"))
+        assert main(["fig08", "--jobs", "2", "--quiet"]) == 0
+        assert main(["fig08", "--no-cache"]) == 0

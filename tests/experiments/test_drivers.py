@@ -2,13 +2,16 @@
 
 These verify driver plumbing (headers, rows, config wiring) without
 running real simulations; the benchmark suite runs them for real.
+The stub replaces ``run_simulation`` underneath the experiment runner,
+so the real grid declaration, search planner, and executor plumbing
+are all exercised.
 """
 
-import dataclasses
 
 import pytest
 
 import repro.experiments.figures as figures
+import repro.experiments.runner as runner_module
 import repro.experiments.tables as tables
 from repro.core.metrics import RunMetrics
 
@@ -52,32 +55,28 @@ def fake_metrics(config, **overrides):
     return RunMetrics(**values)
 
 
-class FakeSearchResult:
-    def __init__(self, max_terminals):
-        self.max_terminals = max_terminals
+def fake_capacity(config):
+    # Capacity depends deterministically on a few config fields so
+    # drivers produce stable, assertable tables.
+    capacity = 220
+    if config.layout == "nonstriped":
+        capacity = 40 if config.access_model == "zipf" else 80
+    capacity += 10 * (config.disk_count // 16 - 1) * 16
+    return capacity
 
 
 @pytest.fixture()
 def stubbed(monkeypatch):
-    """Patch real simulation entry points in the driver modules."""
+    """Stub the simulator underneath the experiment runner; searches
+    run for real against the stub's capacity model."""
 
     def fake_run(config):
-        return fake_metrics(config)
+        glitches = 0 if config.terminals <= fake_capacity(config) else config.terminals
+        return fake_metrics(config, glitches=glitches)
 
-    def fake_find(config, hint=200, granularity=10, **kwargs):
-        # Capacity depends deterministically on a few config fields so
-        # drivers produce stable, assertable tables.
-        capacity = 220
-        if config.layout == "nonstriped":
-            capacity = 40 if config.access_model == "zipf" else 80
-        capacity += 10 * (config.disk_count // 16 - 1) * 16
-        return FakeSearchResult(capacity)
-
-    monkeypatch.setattr(figures, "run_simulation", fake_run)
-    monkeypatch.setattr(figures, "find_max_terminals", fake_find)
-    monkeypatch.setattr(tables, "find_max_terminals", fake_find)
+    monkeypatch.setattr(runner_module, "run_simulation", fake_run)
     monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
-    return fake_find
+    return fake_run
 
 
 class TestFigureDrivers:

@@ -1,0 +1,342 @@
+"""Tests for the parallel experiment engine: executors, determinism,
+picklability, serialization, and the on-disk run cache.
+
+The serial-vs-process comparisons run *real* (tiny) simulations —
+stubbing the simulator would bypass exactly the pickling and
+cross-process determinism this file exists to verify.
+"""
+
+import pickle
+import random
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.core.config import MB, SpiffiConfig
+from repro.core.metrics import RunMetrics
+from repro.experiments.results import (
+    ExperimentResult,
+    RunCache,
+    config_digest,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from repro.experiments.runner import (
+    ProcessExecutor,
+    Runner,
+    RunRequest,
+    SerialExecutor,
+    default_runner,
+    run_grid,
+    search_grid,
+    set_default_runner,
+    using_runner,
+)
+
+
+def tiny_config(**overrides):
+    """A real config small enough for sub-second simulation runs."""
+    defaults = dict(
+        terminals=4,
+        measure_s=3.0,
+        start_spread_s=1.0,
+        warmup_grace_s=1.0,
+        videos_per_disk=1,
+        video_length_s=40.0,
+        server_memory_bytes=256 * MB,
+    )
+    defaults.update(overrides)
+    return SpiffiConfig(**defaults)
+
+
+def example_metrics(**overrides):
+    values = dict(
+        terminals=10,
+        measure_s=5.0,
+        glitches=2,
+        glitching_terminals=1,
+        mean_glitch_duration_s=0.5,
+        disk_utilization_mean=0.8,
+        disk_utilization_min=0.5,
+        disk_utilization_max=0.9,
+        cpu_utilization_mean=0.2,
+        network_peak_bytes_per_s=1e6,
+        network_mean_bytes_per_s=5e5,
+        buffer_references=100,
+        buffer_hit_rate=0.9,
+        buffer_inflight_hit_rate=0.05,
+        rereference_rate=0.3,
+        wasted_prefetches=1,
+        dropped_prefetches=0,
+        allocation_waits=2,
+        prefetches_issued=50,
+        prefetches_completed=49,
+        mean_response_time_s=0.01,
+        max_response_time_s=0.2,
+        deadline_misses=0,
+        blocks_delivered=500,
+        mean_startup_latency_s=0.1,
+        videos_completed=3,
+        pauses_taken=0,
+        admissions_queued=0,
+        admission_mean_wait_s=0.0,
+        wall_time_s=1.25,
+        events_processed=4321,
+    )
+    values.update(overrides)
+    return RunMetrics(**values)
+
+
+class TestPicklability:
+    def test_config_round_trips_through_pickle(self):
+        config = tiny_config(
+            replacement_policy="love_prefetch",
+            access_model="zipf",
+            zipf_skew=1.5,
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.scheduler == config.scheduler
+        assert clone.prefetch == config.prefetch
+
+    def test_metrics_round_trip_through_pickle(self):
+        metrics = example_metrics()
+        assert pickle.loads(pickle.dumps(metrics)) == metrics
+
+    def test_run_request_round_trips_through_pickle(self):
+        request = RunRequest(tiny_config(), tag="demo")
+        assert pickle.loads(pickle.dumps(request)) == request
+
+
+class TestDeterminism:
+    """Identical metrics for any executor, job count, or order."""
+
+    def grid(self):
+        return [
+            tiny_config(terminals=terminals, seed=seed)
+            for terminals in (2, 4)
+            for seed in (1, 2)
+        ]
+
+    def test_serial_vs_process_identical(self):
+        configs = self.grid()
+        requests = [RunRequest(config) for config in configs]
+        serial = Runner(SerialExecutor()).run_batch(requests)
+        with ProcessExecutor(jobs=2) as executor:
+            parallel = Runner(executor).run_batch(requests)
+        for a, b in zip(serial, parallel):
+            assert a.metrics.deterministic_dict() == b.metrics.deterministic_dict()
+
+    def test_shuffled_submission_order_identical(self):
+        configs = self.grid()
+        order = list(range(len(configs)))
+        random.Random(7).shuffle(order)
+        runner = Runner(SerialExecutor())
+        straight = runner.run_batch([RunRequest(c) for c in configs])
+        shuffled = runner.run_batch([RunRequest(configs[i]) for i in order])
+        for index, outcome in zip(order, shuffled):
+            assert (
+                outcome.metrics.deterministic_dict()
+                == straight[index].metrics.deterministic_dict()
+            )
+
+    def test_outcomes_keep_request_order_and_tags(self):
+        requests = [
+            RunRequest(tiny_config(terminals=t), tag=f"t{t}") for t in (2, 3, 4)
+        ]
+        outcomes = Runner(SerialExecutor()).run_batch(requests)
+        assert [o.tag for o in outcomes] == ["t2", "t3", "t4"]
+        assert [o.metrics.terminals for o in outcomes] == [2, 3, 4]
+
+
+class TestRunCache:
+    def patch_counting_sim(self, monkeypatch):
+        calls = []
+
+        def fake_run(config):
+            calls.append(config)
+            return example_metrics(
+                terminals=config.terminals, glitches=0, wall_time_s=0.5
+            )
+
+        monkeypatch.setattr(runner_module, "run_simulation", fake_run)
+        return calls
+
+    def test_second_batch_is_all_cache_hits(self, tmp_path, monkeypatch):
+        calls = self.patch_counting_sim(monkeypatch)
+        requests = [RunRequest(tiny_config(terminals=t)) for t in (2, 3)]
+        cache = RunCache(str(tmp_path / "cache"))
+        runner = Runner(SerialExecutor(), cache=cache)
+        first = runner.run_batch(requests)
+        assert len(calls) == 2
+        assert all(not outcome.cached for outcome in first)
+        second = runner.run_batch(requests)
+        assert len(calls) == 2  # nothing re-simulated
+        assert all(outcome.cached for outcome in second)
+        for a, b in zip(first, second):
+            assert a.metrics == b.metrics
+
+    def test_no_cache_forces_recompute(self, tmp_path, monkeypatch):
+        calls = self.patch_counting_sim(monkeypatch)
+        requests = [RunRequest(tiny_config(terminals=2))]
+        cache = RunCache(str(tmp_path / "cache"))
+        Runner(SerialExecutor(), cache=cache).run_batch(requests)
+        Runner(SerialExecutor(), cache=None).run_batch(requests)
+        assert len(calls) == 2
+
+    def test_changed_config_misses(self, tmp_path, monkeypatch):
+        calls = self.patch_counting_sim(monkeypatch)
+        cache = RunCache(str(tmp_path / "cache"))
+        runner = Runner(SerialExecutor(), cache=cache)
+        runner.run_batch([RunRequest(tiny_config(terminals=2, seed=1))])
+        runner.run_batch([RunRequest(tiny_config(terminals=2, seed=2))])
+        assert len(calls) == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, monkeypatch):
+        calls = self.patch_counting_sim(monkeypatch)
+        cache = RunCache(str(tmp_path / "cache"))
+        runner = Runner(SerialExecutor(), cache=cache)
+        config = tiny_config(terminals=2)
+        path = cache.store(config, example_metrics())
+        with open(path, "w") as handle:
+            handle.write("not json")
+        outcome = runner.run(RunRequest(config))
+        assert not outcome.cached
+        assert len(calls) == 1
+
+    def test_progress_reports_cache_state(self, tmp_path, monkeypatch):
+        self.patch_counting_sim(monkeypatch)
+        seen = []
+        cache = RunCache(str(tmp_path / "cache"))
+        runner = Runner(
+            SerialExecutor(), cache=cache, progress=lambda o: seen.append(o.cached)
+        )
+        request = RunRequest(tiny_config(terminals=2))
+        runner.run(request)
+        runner.run(request)
+        assert seen == [False, True]
+
+
+class TestConfigDigest:
+    def test_stable_for_equal_configs(self):
+        assert config_digest(tiny_config()) == config_digest(tiny_config())
+
+    def test_any_field_changes_digest(self):
+        base = config_digest(tiny_config())
+        assert config_digest(tiny_config(seed=9)) != base
+        assert config_digest(tiny_config(zipf_skew=1.2)) != base
+
+    def test_nested_spec_changes_digest(self):
+        from repro.sched.registry import SchedulerSpec
+
+        base = config_digest(tiny_config())
+        other = config_digest(
+            tiny_config(scheduler=SchedulerSpec("gss", gss_groups=2))
+        )
+        assert other != base
+
+
+class TestSerialization:
+    def test_metrics_dict_round_trip(self):
+        metrics = example_metrics()
+        assert metrics_from_dict(metrics_to_dict(metrics)) == metrics
+
+    def test_experiment_result_json_round_trip(self):
+        result = ExperimentResult(
+            name="demo",
+            title="A demo",
+            headers=("k", "v"),
+            rows=((1, "a"), (2.5, "b")),
+            notes="note",
+        )
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone == result
+        assert clone.table() == result.table()
+
+
+class TestGridHelpers:
+    def test_run_grid_orders_by_cell(self, monkeypatch):
+        def fake_run(config):
+            return example_metrics(terminals=config.terminals)
+
+        monkeypatch.setattr(runner_module, "run_simulation", fake_run)
+        metrics = run_grid([
+            ("a", tiny_config(terminals=3)),
+            ("b", tiny_config(terminals=5)),
+        ])
+        assert [m.terminals for m in metrics] == [3, 5]
+
+    def test_search_grid_matches_individual_searches(self, monkeypatch):
+        from repro.experiments.runner import SearchCell
+        from repro.experiments.search import find_max_terminals
+
+        def fake_run(config):
+            capacity = 200 if config.zipf_skew == 1.0 else 120
+            glitches = 0 if config.terminals <= capacity else 3
+            return example_metrics(terminals=config.terminals, glitches=glitches)
+
+        monkeypatch.setattr(runner_module, "run_simulation", fake_run)
+        cells = [
+            SearchCell("z1", tiny_config(), hint=150, granularity=10),
+            SearchCell("z2", tiny_config(zipf_skew=1.5), hint=150, granularity=10),
+        ]
+        results = search_grid(cells)
+        assert [r.max_terminals for r in results] == [200, 120]
+        solo = find_max_terminals(tiny_config(), hint=150, granularity=10)
+        assert solo.max_terminals == results[0].max_terminals
+        assert [
+            (p.terminals, p.seed) for p in solo.probes
+        ] == [(p.terminals, p.seed) for p in results[0].probes]
+
+
+class TestDefaultRunner:
+    def test_fallback_is_serial_and_uncached(self):
+        runner = default_runner()
+        assert isinstance(runner.executor, SerialExecutor)
+        assert runner.cache is None
+
+    def test_using_runner_installs_and_restores(self):
+        special = Runner(SerialExecutor())
+        before = default_runner()
+        with using_runner(special):
+            assert default_runner() is special
+        assert default_runner() is before
+
+    def test_set_default_runner_cleared_with_none(self):
+        special = Runner(SerialExecutor())
+        set_default_runner(special)
+        try:
+            assert default_runner() is special
+        finally:
+            set_default_runner(None)
+        assert default_runner() is not special
+
+
+class TestProcessExecutor:
+    def test_rejects_bad_job_count(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(0)
+
+    def test_parallel_search_identical_to_serial(self):
+        """A real (tiny) search: same result and probe sequence under a
+        process pool as in-process."""
+        from repro.experiments.search import find_max_terminals
+
+        config = tiny_config()
+        serial = find_max_terminals(
+            config, hint=4, granularity=2, low=2, high=8,
+            runner=Runner(SerialExecutor()),
+        )
+        with ProcessExecutor(jobs=2) as executor:
+            parallel = find_max_terminals(
+                config, hint=4, granularity=2, low=2, high=8,
+                runner=Runner(executor),
+            )
+        assert parallel.max_terminals == serial.max_terminals
+        assert [
+            (p.terminals, p.seed, p.metrics.deterministic_dict())
+            for p in parallel.probes
+        ] == [
+            (p.terminals, p.seed, p.metrics.deterministic_dict())
+            for p in serial.probes
+        ]

@@ -4,9 +4,9 @@ import dataclasses
 
 import pytest
 
-import repro.experiments.search as search_module
+import repro.experiments.runner as runner_module
 from repro import SpiffiConfig
-from repro.experiments.search import find_max_terminals
+from repro.experiments.search import find_max_terminals, plan_probes
 
 
 @dataclasses.dataclass
@@ -31,7 +31,7 @@ class Oracle:
 @pytest.fixture()
 def patch_runner(monkeypatch):
     def apply(oracle):
-        monkeypatch.setattr(search_module, "run_simulation", oracle)
+        monkeypatch.setattr(runner_module, "run_simulation", oracle)
         return oracle
     return apply
 
@@ -105,3 +105,105 @@ class TestSearch:
             find_max_terminals(config(), replications=0)
         with pytest.raises(ValueError):
             find_max_terminals(config(), low=500, high=100)
+
+
+class TestSearchEdgeCases:
+    def test_hint_clamped_at_low(self, patch_runner):
+        oracle = patch_runner(Oracle(capacity=50))
+        result = find_max_terminals(config(), hint=3, granularity=10, low=10)
+        assert result.max_terminals == 50
+        assert min(t for t, _ in oracle.calls) >= 10
+
+    def test_hint_clamped_at_high(self, patch_runner):
+        oracle = patch_runner(Oracle(capacity=10**9))
+        result = find_max_terminals(
+            config(), hint=99999, granularity=10, high=500
+        )
+        assert result.max_terminals == 500
+        assert max(t for t, _ in oracle.calls) <= 500
+
+    def test_zero_capacity_evidence_recorded(self, patch_runner):
+        patch_runner(Oracle(capacity=0))
+        result = find_max_terminals(config(), hint=100, granularity=10, low=10)
+        assert result.max_terminals == 0
+        assert result.runs > 0
+        assert all(not probe.glitch_free for probe in result.probes)
+        assert result.metrics_at_max() is None
+
+    def test_granularity_one_finds_exact_capacity(self, patch_runner):
+        patch_runner(Oracle(capacity=223))
+        result = find_max_terminals(config(), hint=200, granularity=1)
+        assert result.max_terminals == 223
+
+    def test_metrics_at_max_with_replications(self, patch_runner):
+        patch_runner(Oracle(capacity=200))
+        result = find_max_terminals(
+            config(), hint=200, granularity=10, replications=3
+        )
+        assert result.max_terminals == 200
+        assert result.metrics_at_max().glitches == 0
+        at_max = [p for p in result.probes if p.terminals == 200]
+        assert len(at_max) == 3
+        assert [p.seed for p in at_max] == [1, 2, 3]
+
+    def test_full_replication_batch_always_recorded(self, patch_runner):
+        """A glitching replication must not truncate its point's record
+        (the old early `break` made evidence order-dependent)."""
+        patch_runner(Oracle(capacity=300, seed_shift=-40))
+        result = find_max_terminals(
+            config(), hint=300, granularity=10, replications=2
+        )
+        by_point = {}
+        for probe in result.probes:
+            by_point.setdefault(probe.terminals, []).append(probe.seed)
+        assert all(seeds == [1, 2] for seeds in by_point.values())
+
+    def test_probe_sequence_deterministic(self, patch_runner):
+        patch_runner(Oracle(capacity=340))
+        first = find_max_terminals(config(), hint=150, granularity=10)
+        second = find_max_terminals(config(), hint=150, granularity=10)
+        assert first.max_terminals == second.max_terminals
+        assert [
+            (p.terminals, p.seed) for p in first.probes
+        ] == [(p.terminals, p.seed) for p in second.probes]
+
+
+class TestPlanProbes:
+    """The planner alone: a pure generator over verdicts."""
+
+    def drive(self, plan, capacity):
+        asked = []
+        try:
+            batch = next(plan)
+            while True:
+                assert isinstance(batch, tuple) and batch
+                asked.extend(batch)
+                batch = plan.send({t: t <= capacity for t in batch})
+        except StopIteration as stop:
+            return stop.value, asked
+
+    def test_batches_never_repeat_a_point(self):
+        best, asked = self.drive(
+            plan_probes(10, 4000, 200, 10), capacity=517
+        )
+        assert best == 510
+        assert len(asked) == len(set(asked))
+
+    def test_all_points_snapped_and_bounded(self):
+        best, asked = self.drive(
+            plan_probes(50, 1000, 300, 50), capacity=10**9
+        )
+        assert best == 1000
+        assert all(50 <= t <= 1000 and t % 50 == 0 for t in asked)
+
+    def test_speculation_validated(self):
+        with pytest.raises(ValueError):
+            next(plan_probes(10, 100, 50, 10, speculation=0))
+
+    def test_wider_speculation_same_answer(self):
+        for speculation in (1, 2, 3, 5):
+            best, _ = self.drive(
+                plan_probes(10, 4000, 200, 10, speculation=speculation),
+                capacity=517,
+            )
+            assert best == 510

@@ -7,7 +7,6 @@ was slow from the start.
 
 import dataclasses
 
-import pytest
 
 from repro import MB, SpiffiConfig
 from repro.core.metrics import collect_metrics

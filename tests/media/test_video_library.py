@@ -9,7 +9,6 @@ from repro.media import (
     clear_sequence_cache,
     make_access_model,
 )
-from repro.media.mpeg import MpegProfile
 from repro.sim import RandomSource
 
 BLOCK = 64 * 1024

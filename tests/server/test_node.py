@@ -1,8 +1,6 @@
 """Tests for the video server node service path."""
 
-import math
 
-import pytest
 
 from repro.bufferpool import BufferPool, make_policy
 from repro.cpu import CpuParameters, Processor

@@ -1,6 +1,5 @@
 """Property tests: terminal playback arithmetic over random videos."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
