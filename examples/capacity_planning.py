@@ -10,8 +10,8 @@ big disks on cost per terminal, even when they lose on cost per Mbyte.
 Run:  python examples/capacity_planning.py           (about a minute)
 """
 
-from repro import MB, SpiffiConfig
-from repro.experiments import find_max_terminals, format_table
+from repro.api import MB, ReplacementSpec, SpiffiConfig, find_max_terminals
+from repro.experiments import format_table
 
 #: Candidate servers, all storing the same 8-video library.
 CANDIDATES = (
@@ -31,7 +31,7 @@ def size(nodes: int, disks_per_node: int, hint: int) -> int:
         videos_per_disk=8 // disks if disks <= 8 else 1,
         video_length_s=600.0,
         server_memory_bytes=max(64, 32 * disks) * MB,
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         start_spread_s=5.0,
         warmup_grace_s=10.0,
         measure_s=45.0,

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Fault injection: what happens when disks misbehave mid-stream?
+
+Runs the same 40-terminal workload twice — once on healthy hardware and
+once with a seeded schedule of disk slowdowns and temporary outages —
+and compares what viewers experienced.  The fault run stays fully
+deterministic: the schedule is drawn from its own random stream, so two
+runs with the same seed inject the same faults at the same instants.
+
+The metrics split glitches into *fault-attributed* (they overlapped an
+active fault, or its immediate aftermath) and *scheduling* glitches, so
+a capacity experiment can tell hardware pain from queueing pain.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.api import FaultSpec, MB, SpiffiConfig, run_simulation
+
+FAULTS = FaultSpec(
+    disk_fault_rate_per_hour=120.0,   # one fault per disk every 30 s
+    slow_weight=3.0,                  # slowdowns 3x as common as outages
+    outage_weight=1.0,
+    slow_latency_multiplier=4.0,
+    mean_slow_duration_s=15.0,
+    mean_outage_duration_s=4.0,
+    request_timeout_s=1.0,            # give up on a stuck read after 1 s
+    max_retries=2,
+)
+
+
+def run(faults: FaultSpec):
+    config = SpiffiConfig(
+        nodes=2,
+        disks_per_node=2,
+        terminals=40,
+        videos_per_disk=2,
+        video_length_s=600.0,
+        server_memory_bytes=256 * MB,
+        faults=faults,
+        start_spread_s=5.0,
+        warmup_grace_s=10.0,
+        measure_s=60.0,
+        seed=42,
+    )
+    return run_simulation(config)
+
+
+def main() -> None:
+    healthy = run(FaultSpec())
+    faulty = run(FAULTS)
+
+    print("                          healthy    faulty")
+    print(f"glitches                  {healthy.glitches:7d}   {faulty.glitches:7d}")
+    print(f"  fault-attributed        {healthy.fault_glitches:7d}   "
+          f"{faulty.fault_glitches:7d}")
+    print(f"  scheduling              {healthy.scheduling_glitches:7d}   "
+          f"{faulty.scheduling_glitches:7d}")
+    print(f"fault events injected     {healthy.fault_events_injected:7d}   "
+          f"{faulty.fault_events_injected:7d}")
+    print(f"reads retried             {healthy.fault_retries:7d}   "
+          f"{faulty.fault_retries:7d}")
+    print(f"reads abandoned           {healthy.fault_abandoned_reads:7d}   "
+          f"{faulty.fault_abandoned_reads:7d}")
+    print(f"blocks delivered          {healthy.blocks_delivered:7d}   "
+          f"{faulty.blocks_delivered:7d}")
+    print(f"mean response time (ms)   {healthy.mean_response_time_s * 1e3:7.1f}   "
+          f"{faulty.mean_response_time_s * 1e3:7.1f}")
+    print()
+    if faulty.fault_glitches:
+        print("The faulty run glitches, and the metrics pin the blame on the")
+        print("injected faults rather than on the disk scheduler.")
+    else:
+        print("Degraded mode absorbed every injected fault without a glitch.")
+
+
+if __name__ == "__main__":
+    main()

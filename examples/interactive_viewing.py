@@ -10,8 +10,7 @@ just re-primes its buffers from the new position.
 Run:  python examples/interactive_viewing.py
 """
 
-from repro import MB, SpiffiConfig
-from repro.core.system import SpiffiSystem
+from repro.api import MB, SpiffiConfig, SpiffiSystem
 
 
 def main() -> None:

@@ -10,7 +10,7 @@ pool behaviour, and network bandwidth.
 Run:  python examples/quickstart.py
 """
 
-from repro import MB, SpiffiConfig, run_simulation
+from repro.api import MB, SpiffiConfig, run_simulation
 
 
 def main() -> None:

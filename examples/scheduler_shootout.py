@@ -11,7 +11,14 @@ servicing urgent requests first (paper §5.2.2, Figure 10).
 Run:  python examples/scheduler_shootout.py
 """
 
-from repro import MB, PrefetchSpec, SchedulerSpec, SpiffiConfig, run_simulation
+from repro.api import (
+    MB,
+    PrefetchSpec,
+    ReplacementSpec,
+    SchedulerSpec,
+    SpiffiConfig,
+    run_simulation,
+)
 from repro.experiments import format_table
 
 #: Load chosen to stress a 2-node / 4-disk server (~30 MB/s of disk).
@@ -44,7 +51,7 @@ def main() -> None:
             server_memory_bytes=256 * MB,
             scheduler=scheduler,
             prefetch=prefetch,
-            replacement_policy="love_prefetch",
+            replacement_policy=ReplacementSpec("love_prefetch"),
             start_spread_s=5.0,
             warmup_grace_s=10.0,
             measure_s=60.0,

@@ -10,7 +10,10 @@ Quickstart::
     print(metrics.summary())
 """
 
+from repro.bufferpool.registry import ReplacementSpec
 from repro.core import GB, KB, MB, RunMetrics, SpiffiConfig, SpiffiSystem, run_simulation
+from repro.faults.spec import FaultSpec
+from repro.layout.registry import LayoutSpec
 from repro.prefetch import PrefetchSpec
 from repro.sched import SchedulerSpec
 from repro.terminal import PauseModel
@@ -18,11 +21,14 @@ from repro.terminal import PauseModel
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultSpec",
     "GB",
     "KB",
+    "LayoutSpec",
     "MB",
     "PauseModel",
     "PrefetchSpec",
+    "ReplacementSpec",
     "RunMetrics",
     "SchedulerSpec",
     "SpiffiConfig",

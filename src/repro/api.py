@@ -1,0 +1,89 @@
+"""The one-stop public API of the SPIFFI reproduction.
+
+Everything a user composes — the config and its component specs, the
+system and single-run entry point, the experiment harness, and the
+plugin registration hooks — importable from one module::
+
+    from repro.api import (
+        FaultSpec, LayoutSpec, SchedulerSpec, SpiffiConfig, run_simulation,
+    )
+
+    config = SpiffiConfig(
+        terminals=40,
+        layout=LayoutSpec("striped"),
+        scheduler=SchedulerSpec("elevator"),
+        faults=FaultSpec(disk_fault_rate_per_hour=6.0),
+    )
+    print(run_simulation(config).summary())
+
+Component selection is uniformly spec-based: each ``*Spec`` names an
+entry in a registry that third-party code extends through the
+``register_*`` functions, so a new scheduler, layout, replacement
+policy, or access model plugs in without touching the assembly code in
+:mod:`repro.core.system`.
+"""
+
+from repro.bufferpool.registry import (
+    ReplacementSpec,
+    register_replacement,
+    replacement_names,
+)
+from repro.core.config import GB, KB, MB, SpiffiConfig
+from repro.core.metrics import RunMetrics
+from repro.core.system import SpiffiSystem, run_simulation
+from repro.experiments.catalog import experiment_names, run_experiment
+from repro.experiments.results import ExperimentResult, RunCache, config_digest
+from repro.experiments.runner import (
+    ProcessExecutor,
+    Runner,
+    SerialExecutor,
+    run_grid,
+    using_runner,
+)
+from repro.experiments.search import SearchResult, find_max_terminals
+from repro.faults import FaultEvent, FaultSpec, build_schedule
+from repro.layout.registry import LayoutSpec, layout_names, register_layout
+from repro.media.access import access_model_names, register_access_model
+from repro.prefetch.spec import PrefetchSpec
+from repro.sched.registry import SchedulerSpec, register_scheduler, scheduler_names
+from repro.server.admission import AdmissionSpec
+from repro.terminal.pauses import PauseModel
+
+__all__ = [
+    "AdmissionSpec",
+    "ExperimentResult",
+    "FaultEvent",
+    "FaultSpec",
+    "GB",
+    "KB",
+    "LayoutSpec",
+    "MB",
+    "PauseModel",
+    "PrefetchSpec",
+    "ProcessExecutor",
+    "ReplacementSpec",
+    "RunCache",
+    "RunMetrics",
+    "Runner",
+    "SchedulerSpec",
+    "SearchResult",
+    "SerialExecutor",
+    "SpiffiConfig",
+    "SpiffiSystem",
+    "access_model_names",
+    "build_schedule",
+    "config_digest",
+    "experiment_names",
+    "find_max_terminals",
+    "layout_names",
+    "register_access_model",
+    "register_layout",
+    "register_replacement",
+    "register_scheduler",
+    "replacement_names",
+    "run_experiment",
+    "run_grid",
+    "run_simulation",
+    "scheduler_names",
+    "using_runner",
+]

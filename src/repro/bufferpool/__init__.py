@@ -3,6 +3,11 @@
 from repro.bufferpool.page import Page, PageKey
 from repro.bufferpool.policies import GlobalLru, LovePrefetch, ReplacementPolicy, make_policy
 from repro.bufferpool.pool import HIT, INFLIGHT, MISS, BufferPool, PoolStats
+from repro.bufferpool.registry import (
+    ReplacementSpec,
+    register_replacement,
+    replacement_names,
+)
 
 __all__ = [
     "BufferPool",
@@ -15,5 +20,8 @@ __all__ = [
     "PageKey",
     "PoolStats",
     "ReplacementPolicy",
+    "ReplacementSpec",
     "make_policy",
+    "register_replacement",
+    "replacement_names",
 ]

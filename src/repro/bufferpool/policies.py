@@ -113,9 +113,7 @@ class LovePrefetch(ReplacementPolicy):
 
 
 def make_policy(name: str) -> ReplacementPolicy:
-    """Factory: ``"global_lru"`` or ``"love_prefetch"``."""
-    if name == "global_lru":
-        return GlobalLru()
-    if name == "love_prefetch":
-        return LovePrefetch()
-    raise ValueError(f"unknown replacement policy {name!r}")
+    """Build a registered policy by name (see ``bufferpool.registry``)."""
+    from repro.bufferpool.registry import ReplacementSpec
+
+    return ReplacementSpec(name).build()

@@ -212,6 +212,22 @@ class BufferPool:
         # Loaded unpinned pages become evictable.
         self._page_freed.open()
 
+    def discard_failed(self, page: Page) -> None:
+        """Complete a *failed* read (see repro.faults) and drop the page.
+
+        Waiters merged onto the I/O are woken as usual — their reads are
+        implicitly failed over by the node — but the page itself must
+        not stay resident, or a dead drive would turn into an infinitely
+        fast one serving permanent hits.  If merged waiters still pin
+        the page it survives until they unpin; the common (prefetch)
+        case evicts immediately so the block is re-read when really
+        requested.
+        """
+        self.finish_io(page)
+        self.unpin(page)
+        if page.evictable and self.pages.get(page.key) is page:
+            self._evict(page)
+
     def _evict(self, victim: Page) -> None:
         if not victim.evictable:
             raise ValueError(f"evicting non-evictable page {victim!r}")

@@ -1,0 +1,61 @@
+"""Replacement-policy construction from a registry-backed spec.
+
+``ReplacementSpec`` mirrors :class:`repro.sched.registry.SchedulerSpec`:
+the name selects a registered factory, and third-party policies plug in
+via :func:`register_replacement` without touching ``repro.core.system``::
+
+    from repro.bufferpool import ReplacementSpec, register_replacement
+
+    register_replacement("clock", ClockPolicy)
+    config = SpiffiConfig(replacement_policy=ReplacementSpec("clock"))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.bufferpool.policies import GlobalLru, LovePrefetch, ReplacementPolicy
+
+_REGISTRY: dict[str, typing.Callable[[], ReplacementPolicy]] = {}
+
+
+def register_replacement(
+    name: str, factory: typing.Callable[[], ReplacementPolicy]
+) -> None:
+    """Make *name* selectable via ``ReplacementSpec(name)``."""
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"replacement policy name must be a non-empty string, got {name!r}"
+        )
+    _REGISTRY[name] = factory
+
+
+def replacement_names() -> tuple[str, ...]:
+    """Every currently registered policy name (registration order)."""
+    return tuple(_REGISTRY)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplacementSpec:
+    """Which page replacement policy each node's buffer pool runs."""
+
+    name: str = "global_lru"
+
+    def __post_init__(self) -> None:
+        if self.name not in _REGISTRY:
+            raise ValueError(
+                f"unknown replacement policy {self.name!r}; "
+                f"choose from {replacement_names()}"
+            )
+
+    def build(self) -> ReplacementPolicy:
+        """A fresh policy instance (one per node pool)."""
+        return _REGISTRY[self.name]()
+
+    def label(self) -> str:
+        return self.name.replace("_", "-")
+
+
+register_replacement("global_lru", GlobalLru)
+register_replacement("love_prefetch", LovePrefetch)

@@ -9,8 +9,13 @@ defaults are the paper's base configuration: 4 processors × 4 disks,
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
+from repro.bufferpool.registry import ReplacementSpec
 from repro.cpu.costs import CpuParameters
+from repro.faults.spec import FaultSpec
+from repro.layout.registry import LayoutSpec
+from repro.media.access import access_model_names
 from repro.netsim.bus import NetworkParameters
 from repro.prefetch.spec import PrefetchSpec
 from repro.sched.registry import SchedulerSpec
@@ -22,6 +27,11 @@ KB = 1024
 MB = 1024 * 1024
 GB = 1024 * 1024 * 1024
 
+#: Built-in component names.  Retained for backward compatibility; the
+#: authoritative lists live in the component registries and grow as
+#: plugins register (see :func:`repro.layout.layout_names`,
+#: :func:`repro.bufferpool.replacement_names`,
+#: :func:`repro.media.access_model_names`).
 LAYOUTS = ("striped", "nonstriped")
 REPLACEMENT_POLICIES = ("global_lru", "love_prefetch")
 ACCESS_MODELS = ("zipf", "uniform")
@@ -62,10 +72,21 @@ class SpiffiConfig:
 
     # --- algorithms -------------------------------------------------------
     stripe_bytes: int = 512 * KB
-    layout: str = "striped"
-    replacement_policy: str = "global_lru"
+    #: Accepts a :class:`~repro.layout.registry.LayoutSpec`; plain name
+    #: strings still coerce, with a :class:`DeprecationWarning`.
+    layout: LayoutSpec | str = dataclasses.field(default_factory=LayoutSpec)
+    #: Accepts a :class:`~repro.bufferpool.registry.ReplacementSpec`;
+    #: plain name strings still coerce, with a DeprecationWarning.
+    replacement_policy: ReplacementSpec | str = dataclasses.field(
+        default_factory=ReplacementSpec
+    )
     scheduler: SchedulerSpec = dataclasses.field(default_factory=SchedulerSpec)
     prefetch: PrefetchSpec = dataclasses.field(default_factory=PrefetchSpec)
+
+    # --- fault injection ---------------------------------------------------
+    #: Empty by default: no faults, and runs are bit-identical to a
+    #: build without the fault subsystem (see :mod:`repro.faults`).
+    faults: FaultSpec = dataclasses.field(default_factory=FaultSpec)
 
     # --- messaging --------------------------------------------------------
     control_message_bytes: int = 128
@@ -83,16 +104,41 @@ class SpiffiConfig:
     initial_position_fraction: float = 0.9
 
     def __post_init__(self) -> None:
-        if self.layout not in LAYOUTS:
-            raise ValueError(f"unknown layout {self.layout!r}; choose from {LAYOUTS}")
-        if self.replacement_policy not in REPLACEMENT_POLICIES:
-            raise ValueError(
-                f"unknown replacement policy {self.replacement_policy!r}; "
-                f"choose from {REPLACEMENT_POLICIES}"
+        # Legacy name strings coerce to specs (spec construction
+        # validates the name against the live registry).
+        if isinstance(self.layout, str):
+            warnings.warn(
+                "passing layout as a string is deprecated; "
+                "use LayoutSpec(name) from repro.layout",
+                DeprecationWarning,
+                stacklevel=3,
             )
-        if self.access_model not in ACCESS_MODELS:
+            object.__setattr__(self, "layout", LayoutSpec(self.layout))
+        elif not isinstance(self.layout, LayoutSpec):
+            raise TypeError(
+                f"layout must be a LayoutSpec or name string, got {self.layout!r}"
+            )
+        if isinstance(self.replacement_policy, str):
+            warnings.warn(
+                "passing replacement_policy as a string is deprecated; "
+                "use ReplacementSpec(name) from repro.bufferpool",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(
+                self, "replacement_policy", ReplacementSpec(self.replacement_policy)
+            )
+        elif not isinstance(self.replacement_policy, ReplacementSpec):
+            raise TypeError(
+                f"replacement_policy must be a ReplacementSpec or name string, "
+                f"got {self.replacement_policy!r}"
+            )
+        if not isinstance(self.faults, FaultSpec):
+            raise TypeError(f"faults must be a FaultSpec, got {self.faults!r}")
+        if self.access_model not in access_model_names():
             raise ValueError(
-                f"unknown access model {self.access_model!r}; choose from {ACCESS_MODELS}"
+                f"unknown access model {self.access_model!r}; "
+                f"choose from {access_model_names()}"
             )
         if self.nodes < 1 or self.disks_per_node < 1:
             raise ValueError("need at least one node and one disk per node")
@@ -151,6 +197,6 @@ class SpiffiConfig:
             f"{self.video_count} videos, {self.terminals} terminals, "
             f"stripe {self.stripe_bytes // KB}KB, "
             f"mem {self.server_memory_bytes // MB}MB, "
-            f"{self.scheduler.label()}, {self.replacement_policy}, "
-            f"{self.prefetch.label()}, {self.layout}"
+            f"{self.scheduler.label()}, {self.replacement_policy.name}, "
+            f"{self.prefetch.label()}, {self.layout.name}"
         )

@@ -54,6 +54,13 @@ class RunMetrics:
     # Admission control (only non-zero when a policy is enforced).
     admissions_queued: int
     admission_mean_wait_s: float
+    # Fault injection (all zero unless the config schedules faults;
+    # defaulted so cached metrics from earlier schema versions load).
+    fault_glitches: int = 0
+    fault_events_injected: int = 0
+    fault_retries: int = 0
+    fault_abandoned_reads: int = 0
+    fault_failed_reads: int = 0
     # Execution accounting (stamped by ``run_simulation`` via
     # ``repro.telemetry.runstats``; zero when a system is run directly).
     # Wall time is host-dependent, so it does not participate in
@@ -67,6 +74,11 @@ class RunMetrics:
         return self.glitches == 0
 
     @property
+    def scheduling_glitches(self) -> int:
+        """Glitches *not* attributed to an injected fault."""
+        return self.glitches - self.fault_glitches
+
+    @property
     def network_peak_mbytes_per_s(self) -> float:
         return self.network_peak_bytes_per_s / MB
 
@@ -78,13 +90,20 @@ class RunMetrics:
         return values
 
     def summary(self) -> str:
-        return (
+        text = (
             f"terminals={self.terminals} glitches={self.glitches} "
             f"disk_util={self.disk_utilization_mean:.2f} "
             f"cpu_util={self.cpu_utilization_mean:.2f} "
             f"hit_rate={self.buffer_hit_rate:.2f} "
             f"net_peak={self.network_peak_mbytes_per_s:.1f}MB/s"
         )
+        if self.fault_events_injected or self.fault_glitches:
+            text += (
+                f" faults={self.fault_events_injected}"
+                f" fault_glitches={self.fault_glitches}"
+                f" retries={self.fault_retries}"
+            )
+        return text
 
 
 def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
@@ -154,4 +173,15 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
         pauses_taken=sum(t.stats.pauses_taken for t in terminals),
         admissions_queued=system.admission.queued,
         admission_mean_wait_s=system.admission.wait_times.mean,
+        fault_glitches=sum(t.stats.fault_glitches for t in terminals),
+        fault_events_injected=(
+            system.faults.stats.events_injected if system.faults else 0
+        ),
+        fault_retries=system.faults.stats.retries if system.faults else 0,
+        fault_abandoned_reads=(
+            system.faults.stats.abandoned_reads if system.faults else 0
+        ),
+        fault_failed_reads=(
+            system.faults.stats.failed_reads if system.faults else 0
+        ),
     )

@@ -5,13 +5,12 @@ from __future__ import annotations
 import time
 import typing
 
-from repro.bufferpool.policies import make_policy
 from repro.bufferpool.pool import BufferPool
 from repro.core.config import SpiffiConfig
 from repro.core.metrics import RunMetrics, collect_metrics
 from repro.cpu.processor import Processor
-from repro.layout.nonstriped import NonStripedLayout
-from repro.layout.striped import StripedLayout
+from repro.faults.injector import FaultInjector, FaultRuntime
+from repro.faults.schedule import build_schedule
 from repro.media.access import make_access_model
 from repro.media.library import VideoLibrary
 from repro.media.mpeg import MpegProfile
@@ -27,6 +26,9 @@ from repro.sim.rng import RandomSource
 from repro.storage.drive import DiskDrive
 from repro.storage.geometry import DiskGeometry
 from repro.terminal.terminal import Terminal
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.trace import TraceRecorder
 
 
 class ServerFabric(typing.Protocol):  # pragma: no cover - typing helper
@@ -73,18 +75,16 @@ class SpiffiSystem:
         block_counts = [
             video.sequence.block_count(config.stripe_bytes) for video in self.library
         ]
-        if config.layout == "striped":
-            self.layout = StripedLayout(
-                block_counts, config.nodes, config.disks_per_node, config.stripe_bytes
-            )
-        else:
-            self.layout = NonStripedLayout(
-                block_counts,
-                config.nodes,
-                config.disks_per_node,
-                config.stripe_bytes,
-                rng.spawn("layout"),
-            )
+        # Spawning a child stream is hash-based (no parent-stream state is
+        # consumed), so handing every layout a "layout" stream keeps
+        # deterministic layouts bit-identical to builds that never drew it.
+        self.layout = config.layout.build(
+            block_counts,
+            config.nodes,
+            config.disks_per_node,
+            config.stripe_bytes,
+            rng.spawn("layout"),
+        )
 
         self.bus = NetworkBus(self.env, config.network)
         self.block_size = config.stripe_bytes
@@ -105,13 +105,19 @@ class SpiffiSystem:
             ),
         )
 
+        # Fault runtime exists only when the config schedules faults, so
+        # a default (empty) FaultSpec leaves the node fast path intact.
+        self.faults: FaultRuntime | None = None
+        if config.faults.enabled:
+            self.faults = FaultRuntime(self.env, config.faults)
+
         self.nodes: list[VideoServerNode] = []
         for node_id in range(config.nodes):
             cpu = Processor(self.env, config.cpu, node_id)
             pool = BufferPool(
                 self.env,
                 config.pages_per_node,
-                make_policy(config.replacement_policy),
+                config.replacement_policy.build(),
                 prefetch_pool_share=config.prefetch.pool_share,
             )
             drives = []
@@ -150,7 +156,25 @@ class SpiffiSystem:
                     block_size=config.stripe_bytes,
                     prefetch_spec=config.prefetch,
                     prefetchers=prefetchers,
+                    faults=self.faults,
                 )
+            )
+
+        self.fault_injector: FaultInjector | None = None
+        if self.faults is not None:
+            schedule = build_schedule(
+                config.faults,
+                config.disk_count,
+                config.total_sim_time_s,
+                rng.spawn("faults"),
+            )
+            self.fault_injector = FaultInjector(
+                self.env,
+                self.faults,
+                schedule,
+                drives=[drive for node in self.nodes for drive in node.drives],
+                bus=self.bus,
+                admission=self.admission,
             )
 
         access = make_access_model(
@@ -185,6 +209,21 @@ class SpiffiSystem:
 
     def release_admission(self) -> None:
         self.admission.release_slot()
+
+    def fault_attributable(self) -> bool:
+        """Whether a glitch starting now should be blamed on a fault."""
+        return self.faults is not None and self.faults.attributable()
+
+    def enable_fault_tracing(self, capacity: int = 100_000) -> "TraceRecorder":
+        """Attach a trace recorder to the fault runtime (faults must be
+        configured); returns the recorder for inspection after the run."""
+        if self.faults is None:
+            raise ValueError("config schedules no faults; nothing to trace")
+        from repro.telemetry.trace import TraceRecorder
+
+        recorder = TraceRecorder(self.env, capacity=capacity)
+        self.faults.trace = recorder
+        return recorder
 
     # ------------------------------------------------------------------
     # Execution
@@ -222,6 +261,8 @@ class SpiffiSystem:
         self.bus.reset_stats()
         self.piggyback.reset_stats()
         self.admission.reset_stats()
+        if self.faults is not None:
+            self.faults.reset_stats()
 
     # ------------------------------------------------------------------
     # Extra probes used by figures

@@ -1,6 +1,11 @@
 """Experiment harness: max-terminal search, presets, figure and table
 drivers, the parallel run executor, and report formatting."""
 
+from repro.experiments.catalog import (
+    EXPERIMENTS,
+    experiment_names,
+    run_experiment,
+)
 from repro.experiments.presets import (
     HINTS,
     BenchScale,
@@ -38,6 +43,7 @@ from repro.experiments.search import (
 
 __all__ = [
     "BenchScale",
+    "EXPERIMENTS",
     "ExperimentResult",
     "HINTS",
     "Probe",
@@ -53,12 +59,14 @@ __all__ = [
     "config_digest",
     "default_runner",
     "elevator_bundle",
+    "experiment_names",
     "find_max_terminals",
     "format_table",
     "paper_config",
     "plan_probes",
     "publish",
     "realtime_bundle",
+    "run_experiment",
     "run_grid",
     "search_grid",
     "set_bench_scale",

@@ -23,7 +23,7 @@ import sys
 import threading
 import time
 
-from repro.experiments import figures, tables
+from repro.experiments.catalog import EXPERIMENTS
 from repro.experiments.presets import bench_scale, set_bench_scale
 from repro.experiments.report import publish
 from repro.experiments.results import RunCache, default_cache_root
@@ -34,25 +34,6 @@ from repro.experiments.runner import (
     SerialExecutor,
     using_runner,
 )
-
-EXPERIMENTS = {
-    "fig08": figures.fig08_zipf,
-    "fig09": figures.fig09_glitch_curve,
-    "fig10": figures.fig10_sched_stripe,
-    "fig11": figures.fig11_memory_elevator,
-    "fig12": figures.fig12_memory_realtime,
-    "fig13": figures.fig13_striping,
-    "fig14": figures.fig14_disk_utilization,
-    "fig15": figures.fig15_access_frequencies,
-    "fig16": figures.fig16_rereference_rate,
-    "fig17": figures.fig17_cpu_utilization,
-    "fig18": figures.fig18_network_bandwidth,
-    "fig19": figures.fig19_pause,
-    "table2": tables.table2_scaleup,
-    "table3": tables.table3_disk_cost,
-    "sec82": figures.sec82_piggyback,
-}
-
 
 class _ProgressPrinter:
     """Thread-safe per-run progress lines for the experiment runner."""
@@ -87,8 +68,8 @@ def _parser() -> argparse.ArgumentParser:
         "names",
         nargs="*",
         metavar="experiment",
-        help="experiment ids (fig08..fig19, table2, table3, sec82), "
-        "'all', or 'list'",
+        help="experiment ids (fig08..fig19, table2, table3, sec82, "
+        "faultsweep), 'all', or 'list'",
     )
     parser.add_argument(
         "--jobs",

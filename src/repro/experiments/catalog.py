@@ -1,0 +1,55 @@
+"""The registry of named experiments (figures, tables, extra sweeps).
+
+Lives apart from the CLI (``repro.experiments.__main__``) so library
+callers — notably :func:`repro.api.run_experiment` — can resolve and
+run experiments by name without importing argument-parsing machinery.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments import figures, tables
+from repro.experiments.faultsweep import faultsweep
+from repro.experiments.results import ExperimentResult
+
+EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
+    "fig08": figures.fig08_zipf,
+    "fig09": figures.fig09_glitch_curve,
+    "fig10": figures.fig10_sched_stripe,
+    "fig11": figures.fig11_memory_elevator,
+    "fig12": figures.fig12_memory_realtime,
+    "fig13": figures.fig13_striping,
+    "fig14": figures.fig14_disk_utilization,
+    "fig15": figures.fig15_access_frequencies,
+    "fig16": figures.fig16_rereference_rate,
+    "fig17": figures.fig17_cpu_utilization,
+    "fig18": figures.fig18_network_bandwidth,
+    "fig19": figures.fig19_pause,
+    "table2": tables.table2_scaleup,
+    "table3": tables.table3_disk_cost,
+    "sec82": figures.sec82_piggyback,
+    "faultsweep": faultsweep,
+}
+
+
+def experiment_names() -> tuple[str, ...]:
+    """Every runnable experiment id, in catalog order."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one named experiment with the ambient runner and scale.
+
+    Wrap the call in :func:`repro.experiments.runner.using_runner` to
+    control caching/parallelism, and :func:`set_bench_scale` (or
+    ``REPRO_BENCH_SCALE``) to pick the scale; the defaults are a serial,
+    cached run at the default scale.
+    """
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {experiment_names()}"
+        ) from None
+    return driver()

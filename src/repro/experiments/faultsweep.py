@@ -1,0 +1,89 @@
+"""Capacity under injected hardware faults (fault-sweep experiment).
+
+Not a figure from the paper — SPIFFI's evaluation assumed fault-free
+hardware — but the natural question its capacity methodology raises:
+how many of a loaded server's glitches are the *scheduler's* fault once
+disks start misbehaving?  The sweep runs a grid of (disk fault rate x
+terminal load) cells on the paper's hardware and reports glitches split
+by attribution, alongside the degraded-mode activity (retries,
+abandoned and failed reads) that kept streams alive.
+
+Like every driver in this package the grid cells are independent and
+statically declared, so the parallel runner can fan the whole sweep out
+at once and results are bit-identical at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import HINTS, bench_scale, elevator_bundle, paper_config
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_grid
+from repro.faults.spec import FaultSpec
+
+#: Disk fault rates swept, in faults per disk-hour.  Zero anchors the
+#: sweep at the fault-free baseline (bit-identical to the non-fault
+#: build); the top rate is hostile enough to dominate glitch counts.
+FAULT_RATES = (0.0, 6.0, 30.0, 120.0)
+
+
+def _fault_spec(rate: float) -> FaultSpec:
+    if rate == 0.0:
+        return FaultSpec()
+    return FaultSpec(
+        disk_fault_rate_per_hour=rate,
+        slow_weight=3.0,
+        outage_weight=1.0,
+        fail_weight=0.0,
+        request_timeout_s=1.0,
+    )
+
+
+def faultsweep() -> ExperimentResult:
+    """Glitch attribution across disk fault rates and terminal loads."""
+    scale = bench_scale()
+    base = paper_config(**elevator_bundle())
+    hint = HINTS["elevator_512k_bigmem"]
+    loads = (hint - 60, hint - 30, hint)
+    grid = []
+    cells = []
+    for rate in FAULT_RATES:
+        for terminals in loads:
+            config = base.replace(terminals=terminals, faults=_fault_spec(rate))
+            cells.append((rate, terminals))
+            grid.append((f"faults r={rate:g}/h t={terminals}", config))
+    rows = []
+    for (rate, terminals), metrics in zip(cells, run_grid(grid)):
+        rows.append(
+            (
+                f"{rate:g}",
+                terminals,
+                metrics.glitches,
+                metrics.fault_glitches,
+                metrics.scheduling_glitches,
+                metrics.fault_events_injected,
+                metrics.fault_retries,
+                metrics.fault_abandoned_reads,
+                metrics.blocks_delivered,
+            )
+        )
+    return ExperimentResult(
+        name="faultsweep",
+        title="Fault sweep: glitch attribution vs disk fault rate",
+        headers=(
+            "faults/disk-h",
+            "terminals",
+            "glitches",
+            "fault glitches",
+            "sched glitches",
+            "fault events",
+            "retries",
+            "abandoned",
+            "blocks",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "(elevator, 512KB stripes, 4GB server memory; slow-I/O and "
+            "outage faults at 3:1 weight, 1s request timeout; measure "
+            f"window {scale.measure_s:g}s)"
+        ),
+    )

@@ -26,6 +26,8 @@ from repro.experiments.presets import (
 )
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import SearchCell, run_grid, search_grid
+from repro.bufferpool.registry import ReplacementSpec
+from repro.layout.registry import LayoutSpec
 from repro.media.access import UniformAccess, ZipfianAccess
 from repro.sched.registry import SchedulerSpec
 
@@ -188,8 +190,8 @@ def fig11_memory_elevator() -> ExperimentResult:
     """Global LRU vs love prefetch under elevator scheduling."""
     bundle = elevator_bundle()
     variants = [
-        ("global LRU", dict(replacement_policy="global_lru", **bundle)),
-        ("love prefetch", dict(replacement_policy="love_prefetch", **bundle)),
+        ("global LRU", dict(replacement_policy=ReplacementSpec("global_lru"), **bundle)),
+        ("love prefetch", dict(replacement_policy=ReplacementSpec("love_prefetch"), **bundle)),
     ]
     headers, rows = _memory_sweep("fig11", variants)
     return ExperimentResult(
@@ -206,14 +208,14 @@ def fig12_memory_realtime() -> ExperimentResult:
     """Replacement/prefetching algorithms under real-time scheduling."""
     variants = [
         ("global LRU", dict(
-            replacement_policy="global_lru", **realtime_bundle())),
+            replacement_policy=ReplacementSpec("global_lru"), **realtime_bundle())),
         ("love prefetch", dict(
-            replacement_policy="love_prefetch", **realtime_bundle())),
+            replacement_policy=ReplacementSpec("love_prefetch"), **realtime_bundle())),
         ("love + delayed 8s", dict(
-            replacement_policy="love_prefetch",
+            replacement_policy=ReplacementSpec("love_prefetch"),
             **realtime_bundle(prefetch_mode="delayed", max_advance_s=8.0))),
         ("love + delayed 4s", dict(
-            replacement_policy="love_prefetch",
+            replacement_policy=ReplacementSpec("love_prefetch"),
             **realtime_bundle(prefetch_mode="delayed", max_advance_s=4.0))),
     ]
     headers, rows = _memory_sweep("fig12", variants)
@@ -235,16 +237,16 @@ def fig12_memory_realtime() -> ExperimentResult:
 def fig13_striping() -> ExperimentResult:
     """Striped vs non-striped layouts under Zipf and uniform access."""
     scale = bench_scale()
-    bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    bundle = dict(replacement_policy=ReplacementSpec("love_prefetch"), **elevator_bundle())
     variants = [
-        ("striped/zipf", dict(layout="striped", access_model="zipf", **bundle),
+        ("striped/zipf", dict(layout=LayoutSpec("striped"), access_model="zipf", **bundle),
          HINTS["striped"]),
-        ("striped/uniform", dict(layout="striped", access_model="uniform", **bundle),
+        ("striped/uniform", dict(layout=LayoutSpec("striped"), access_model="uniform", **bundle),
          HINTS["striped"]),
-        ("non-striped/zipf", dict(layout="nonstriped", access_model="zipf", **bundle),
+        ("non-striped/zipf", dict(layout=LayoutSpec("nonstriped"), access_model="zipf", **bundle),
          HINTS["nonstriped_zipf"]),
         ("non-striped/uniform",
-         dict(layout="nonstriped", access_model="uniform", **bundle),
+         dict(layout=LayoutSpec("nonstriped"), access_model="uniform", **bundle),
          HINTS["nonstriped_uniform"]),
     ]
     cells = [
@@ -275,16 +277,16 @@ def fig13_striping() -> ExperimentResult:
 def fig14_disk_utilization() -> ExperimentResult:
     """Average disk utilization at each layout's own maximum load."""
     bundle = dict(
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         server_memory_bytes=512 * MB,
         **elevator_bundle(),
     )
     variants = [
-        ("striped/zipf", dict(layout="striped", access_model="zipf"),
+        ("striped/zipf", dict(layout=LayoutSpec("striped"), access_model="zipf"),
          HINTS["striped"]),
-        ("non-striped/zipf", dict(layout="nonstriped", access_model="zipf"),
+        ("non-striped/zipf", dict(layout=LayoutSpec("nonstriped"), access_model="zipf"),
          HINTS["nonstriped_zipf"]),
-        ("non-striped/uniform", dict(layout="nonstriped", access_model="uniform"),
+        ("non-striped/uniform", dict(layout=LayoutSpec("nonstriped"), access_model="uniform"),
          HINTS["nonstriped_uniform"]),
     ]
     configs = [
@@ -334,7 +336,7 @@ _ACCESS_VARIANTS = (
 def fig15_access_frequencies() -> ExperimentResult:
     """Max terminals vs memory for different access skews."""
     scale = bench_scale()
-    bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    bundle = dict(replacement_policy=ReplacementSpec("love_prefetch"), **elevator_bundle())
     cells = [
         _cell(
             f"fig15 {memory // MB}MB {label}",
@@ -364,7 +366,7 @@ def fig16_rereference_rate(terminals: int = 150) -> ExperimentResult:
     """Share of buffer references previously referenced by another
     terminal, vs memory, per access skew (fixed load)."""
     scale = bench_scale()
-    bundle = dict(replacement_policy="love_prefetch", **elevator_bundle())
+    bundle = dict(replacement_policy=ReplacementSpec("love_prefetch"), **elevator_bundle())
     grid = [
         (
             f"fig16 {memory // MB}MB {label}",
@@ -418,7 +420,7 @@ def _scaled_config(factor: int, terminals: int) -> SpiffiConfig:
         disks_per_node=4 * factor,
         server_memory_bytes=512 * MB * factor,
         terminals=terminals,
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         **realtime_bundle(prefetch_mode="delayed", max_advance_s=8.0),
     )
 
@@ -487,7 +489,7 @@ def fig19_pause() -> ExperimentResult:
     from repro.terminal.pauses import PauseModel
 
     bundle = dict(
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         server_memory_bytes=512 * MB,
         **elevator_bundle(),
     )
@@ -529,7 +531,7 @@ def sec82_piggyback(window_s: float | None = None) -> ExperimentResult:
         window_s = 120.0 if scale.name == "quick" else 300.0
     spread = max(window_s * 1.5, scale.start_spread_s)
     bundle = dict(
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         server_memory_bytes=512 * MB,
         initial_position_fraction=0.0,
         start_spread_s=spread,

@@ -8,6 +8,7 @@ never depend on execution order.
 
 from __future__ import annotations
 
+from repro.bufferpool.registry import ReplacementSpec
 from repro.core.config import MB, SpiffiConfig
 from repro.experiments.presets import (
     HINTS,
@@ -25,25 +26,25 @@ TABLE2_CONFIGS = (
     ("Elevator / 2MB term / 128MB", dict(
         terminal_memory_bytes=2 * MB,
         server_memory_bytes=128 * MB,
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         **elevator_bundle(),
     )),
     ("Elevator / 2.5MB term / 128MB", dict(
         terminal_memory_bytes=int(2.5 * MB),
         server_memory_bytes=128 * MB,
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         **elevator_bundle(),
     )),
     ("Elevator / 2MB term / 512MB", dict(
         terminal_memory_bytes=2 * MB,
         server_memory_bytes=512 * MB,
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         **elevator_bundle(),
     )),
     ("Real-time / 2MB term / 512MB", dict(
         terminal_memory_bytes=2 * MB,
         server_memory_bytes=512 * MB,
-        replacement_policy="love_prefetch",
+        replacement_policy=ReplacementSpec("love_prefetch"),
         **realtime_bundle(prefetch_mode="delayed", max_advance_s=8.0),
     )),
 )

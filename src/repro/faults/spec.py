@@ -1,0 +1,163 @@
+"""Fault-injection configuration.
+
+``FaultSpec`` follows the same declarative-spec idiom as
+:class:`repro.sched.registry.SchedulerSpec`: an immutable value object
+on :class:`repro.core.config.SpiffiConfig` from which everything else —
+the fault schedule, the degraded-mode server behaviour, the glitch
+attribution — is derived deterministically.
+
+The default spec is **empty** (both rates zero): no injector process is
+created, no extra random draws happen, and a run is bit-identical to
+one on a build without the fault subsystem at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Fault kinds produced by the schedule generator.
+DISK_SLOW = "disk_slow"
+DISK_OUTAGE = "disk_outage"
+DISK_FAIL = "disk_fail"
+NET_DEGRADE = "net_degrade"
+
+FAULT_KINDS = (DISK_SLOW, DISK_OUTAGE, DISK_FAIL, NET_DEGRADE)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """A seeded, deterministic schedule of hardware misbehaviour.
+
+    Disk faults arrive per disk as a Poisson process at
+    ``disk_fault_rate_per_hour``; each arrival is one of
+
+    * *slow I/O* — every service time is multiplied by
+      ``slow_latency_multiplier`` for an exponentially distributed
+      duration (mean ``mean_slow_duration_s``);
+    * *outage* — the drive stops servicing entirely for an exponential
+      duration (mean ``mean_outage_duration_s``); queued requests wait;
+    * *permanent failure* — the drive completes every current and
+      future request immediately as *failed*; the server fails the
+      read over (see below) instead of waiting.
+
+    The three kinds are drawn with probability proportional to their
+    ``*_weight``.  Network degradation events arrive bus-wide at
+    ``network_fault_rate_per_hour`` and multiply every transit time by
+    ``network_latency_multiplier`` for an exponential duration.
+
+    Degraded-mode server behaviour (active only when the spec is
+    non-empty):
+
+    * every terminal-facing disk read carries a timeout of
+      ``request_timeout_s``; on expiry the node cancels the queued
+      request and re-dispatches it, up to ``max_retries`` times;
+    * a read that exhausts its retries, or whose drive has failed
+      permanently, is *failed over*: the node serves the block after a
+      ``failover_penalty_s`` delay (modelling retrieval from a replica
+      or error concealment) so streams degrade instead of deadlocking;
+    * while a disk outage is active (and ``shed_during_outage`` is
+      set), admission control stops admitting new streams; waiting
+      terminals are admitted when the outage clears.
+
+    A glitch is *fault-attributed* when it begins while any fault is
+    active or within ``attribution_grace_s`` of one ending; metrics
+    report fault-attributed and scheduling glitches separately.
+    """
+
+    # --- disk fault schedule -------------------------------------------
+    disk_fault_rate_per_hour: float = 0.0
+    slow_weight: float = 3.0
+    outage_weight: float = 1.0
+    fail_weight: float = 0.0
+    slow_latency_multiplier: float = 4.0
+    mean_slow_duration_s: float = 20.0
+    mean_outage_duration_s: float = 5.0
+
+    # --- network degradation schedule ----------------------------------
+    network_fault_rate_per_hour: float = 0.0
+    network_latency_multiplier: float = 8.0
+    mean_network_fault_duration_s: float = 10.0
+
+    # --- degraded-mode server behaviour --------------------------------
+    request_timeout_s: float = 2.0
+    max_retries: int = 2
+    failover_penalty_s: float = 0.5
+    shed_during_outage: bool = True
+
+    # --- glitch attribution --------------------------------------------
+    attribution_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.disk_fault_rate_per_hour < 0:
+            raise ValueError(
+                f"disk fault rate must be >= 0, got {self.disk_fault_rate_per_hour}"
+            )
+        if self.network_fault_rate_per_hour < 0:
+            raise ValueError(
+                f"network fault rate must be >= 0, "
+                f"got {self.network_fault_rate_per_hour}"
+            )
+        for label, weight in (
+            ("slow_weight", self.slow_weight),
+            ("outage_weight", self.outage_weight),
+            ("fail_weight", self.fail_weight),
+        ):
+            if weight < 0:
+                raise ValueError(f"{label} must be >= 0, got {weight}")
+        if self.disk_fault_rate_per_hour > 0 and self._total_weight() <= 0:
+            raise ValueError(
+                "disk faults enabled but every kind weight is zero"
+            )
+        if self.slow_latency_multiplier < 1.0:
+            raise ValueError(
+                f"slow_latency_multiplier must be >= 1, "
+                f"got {self.slow_latency_multiplier}"
+            )
+        if self.network_latency_multiplier < 1.0:
+            raise ValueError(
+                f"network_latency_multiplier must be >= 1, "
+                f"got {self.network_latency_multiplier}"
+            )
+        for label, duration in (
+            ("mean_slow_duration_s", self.mean_slow_duration_s),
+            ("mean_outage_duration_s", self.mean_outage_duration_s),
+            ("mean_network_fault_duration_s", self.mean_network_fault_duration_s),
+        ):
+            if duration <= 0:
+                raise ValueError(f"{label} must be positive, got {duration}")
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive, got {self.request_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.failover_penalty_s < 0:
+            raise ValueError(
+                f"failover_penalty_s must be >= 0, got {self.failover_penalty_s}"
+            )
+        if self.attribution_grace_s < 0:
+            raise ValueError(
+                f"attribution_grace_s must be >= 0, got {self.attribution_grace_s}"
+            )
+
+    def _total_weight(self) -> float:
+        return self.slow_weight + self.outage_weight + self.fail_weight
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can ever be injected under this spec."""
+        return (
+            self.disk_fault_rate_per_hour > 0
+            or self.network_fault_rate_per_hour > 0
+        )
+
+    def label(self) -> str:
+        """Human-readable summary used in benchmark tables."""
+        if not self.enabled:
+            return "no faults"
+        parts = []
+        if self.disk_fault_rate_per_hour > 0:
+            parts.append(f"disk {self.disk_fault_rate_per_hour:g}/h")
+        if self.network_fault_rate_per_hour > 0:
+            parts.append(f"net {self.network_fault_rate_per_hour:g}/h")
+        return "faults(" + ", ".join(parts) + ")"

@@ -2,6 +2,15 @@
 
 from repro.layout.base import Layout, Placement
 from repro.layout.nonstriped import NonStripedLayout
+from repro.layout.registry import LayoutSpec, layout_names, register_layout
 from repro.layout.striped import StripedLayout
 
-__all__ = ["Layout", "NonStripedLayout", "Placement", "StripedLayout"]
+__all__ = [
+    "Layout",
+    "LayoutSpec",
+    "NonStripedLayout",
+    "Placement",
+    "StripedLayout",
+    "layout_names",
+    "register_layout",
+]

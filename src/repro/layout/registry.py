@@ -1,0 +1,89 @@
+"""Layout construction from a declarative, registry-backed spec.
+
+``LayoutSpec`` mirrors :class:`repro.sched.registry.SchedulerSpec`: the
+name selects a registered factory, and third-party layouts plug in via
+:func:`register_layout` without touching ``repro.core.system``::
+
+    from repro.layout import LayoutSpec, register_layout
+
+    register_layout("mirrored", build_mirrored_layout)
+    config = SpiffiConfig(layout=LayoutSpec("mirrored"))
+
+Factories receive everything system assembly knows about placement:
+per-video block counts, the hardware shape, the stripe block size, and
+a dedicated random stream (ignored by deterministic layouts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.layout.base import Layout
+from repro.layout.nonstriped import NonStripedLayout
+from repro.layout.striped import StripedLayout
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RandomSource
+
+#: ``factory(block_counts, nodes, disks_per_node, block_size, rng)``.
+LayoutFactory = typing.Callable[
+    [list[int], int, int, int, "RandomSource"], Layout
+]
+
+_REGISTRY: dict[str, LayoutFactory] = {}
+
+
+def register_layout(name: str, factory: LayoutFactory) -> None:
+    """Make *name* selectable via ``LayoutSpec(name)``."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"layout name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def layout_names() -> tuple[str, ...]:
+    """Every currently registered layout name (registration order)."""
+    return tuple(_REGISTRY)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayoutSpec:
+    """Which file layout maps video blocks to disks."""
+
+    name: str = "striped"
+
+    def __post_init__(self) -> None:
+        if self.name not in _REGISTRY:
+            raise ValueError(
+                f"unknown layout {self.name!r}; choose from {layout_names()}"
+            )
+
+    def build(
+        self,
+        block_counts: list[int],
+        nodes: int,
+        disks_per_node: int,
+        block_size: int,
+        rng: "RandomSource",
+    ) -> Layout:
+        """A layout instance for one assembled system."""
+        return _REGISTRY[self.name](
+            block_counts, nodes, disks_per_node, block_size, rng
+        )
+
+    def label(self) -> str:
+        return self.name.replace("_", "-")
+
+
+register_layout(
+    "striped",
+    lambda counts, nodes, disks, block_size, rng: StripedLayout(
+        counts, nodes, disks, block_size
+    ),
+)
+register_layout(
+    "nonstriped",
+    lambda counts, nodes, disks, block_size, rng: NonStripedLayout(
+        counts, nodes, disks, block_size, rng
+    ),
+)

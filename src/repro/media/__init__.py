@@ -5,7 +5,9 @@ from repro.media.access import (
     BoundAccessModel,
     UniformAccess,
     ZipfianAccess,
+    access_model_names,
     make_access_model,
+    register_access_model,
 )
 from repro.media.library import VideoLibrary, clear_sequence_cache
 from repro.media.mpeg import (
@@ -32,6 +34,8 @@ __all__ = [
     "Video",
     "VideoLibrary",
     "ZipfianAccess",
+    "access_model_names",
     "clear_sequence_cache",
     "make_access_model",
+    "register_access_model",
 ]

@@ -39,12 +39,30 @@ class NetworkBus:
         self.params = params
         self.traffic = WindowedRate(params.rate_window_s, env.now)
         self.messages = 0
+        # Fault-injection state (see repro.faults); empty by default.
+        self._degrade_multipliers: list[float] = []
+
+    def degrade(self, multiplier: float) -> None:
+        """Stretch every transit time by *multiplier* until restored."""
+        if multiplier < 1.0:
+            raise ValueError(f"degrade multiplier must be >= 1, got {multiplier}")
+        self._degrade_multipliers.append(multiplier)
+
+    def restore(self, multiplier: float) -> None:
+        self._degrade_multipliers.remove(multiplier)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self._degrade_multipliers)
 
     def transfer(self, size_bytes: int) -> typing.Generator:
         """Generator (``yield from``): carry a message across the wire."""
         self.messages += 1
         self.traffic.record(self.env.now, size_bytes)
-        yield self.env.timeout(self.params.transit_time(size_bytes))
+        transit = self.params.transit_time(size_bytes)
+        for multiplier in self._degrade_multipliers:
+            transit *= multiplier
+        yield self.env.timeout(transit)
         return None
 
     @property

@@ -173,6 +173,11 @@ class DiskPrefetcher:
         page.disk_request = request
         self.drive.submit(request)
         yield request.done
+        if request.failed:
+            # The drive died: drop the page so the block is re-read (and
+            # failed over) when a terminal really asks for it.
+            self.pool.discard_failed(page)
+            return
         self.pool.finish_io(page)
         self.pool.unpin(page)
         self.stats.completed += 1

@@ -7,7 +7,12 @@ from repro.sched.elevator import ElevatorScheduler
 from repro.sched.fcfs import FcfsScheduler
 from repro.sched.gss import GssScheduler
 from repro.sched.realtime import RealTimeScheduler
-from repro.sched.registry import SCHEDULER_NAMES, SchedulerSpec
+from repro.sched.registry import (
+    SCHEDULER_NAMES,
+    SchedulerSpec,
+    register_scheduler,
+    scheduler_names,
+)
 from repro.sched.round_robin import RoundRobinScheduler
 
 __all__ = [
@@ -21,4 +26,6 @@ __all__ = [
     "SCHEDULER_NAMES",
     "SchedulerSpec",
     "elevator_select",
+    "register_scheduler",
+    "scheduler_names",
 ]

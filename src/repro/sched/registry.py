@@ -1,8 +1,23 @@
-"""Scheduler construction from a declarative specification."""
+"""Scheduler construction from a declarative, registry-backed spec.
+
+Built-in algorithms register themselves below; third-party schedulers
+plug in through :func:`register_scheduler` without touching
+``repro.core.system``::
+
+    from repro.sched import SchedulerSpec, register_scheduler
+
+    register_scheduler("my_sched", lambda spec: MyScheduler(), real_time=True)
+    config = SpiffiConfig(scheduler=SchedulerSpec("my_sched"))
+
+A factory receives the full :class:`SchedulerSpec`, so parameterised
+algorithms read their knobs off it (see the ``gss`` and ``realtime``
+registrations).
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.sched.base import DiskScheduler
 from repro.sched.edf import EdfScheduler
@@ -12,6 +27,42 @@ from repro.sched.gss import GssScheduler
 from repro.sched.realtime import RealTimeScheduler
 from repro.sched.round_robin import RoundRobinScheduler
 
+
+@dataclasses.dataclass(frozen=True)
+class _Registration:
+    factory: typing.Callable[["SchedulerSpec"], DiskScheduler]
+    real_time: bool = False
+    label: typing.Callable[["SchedulerSpec"], str] | None = None
+
+
+_REGISTRY: dict[str, _Registration] = {}
+
+
+def register_scheduler(
+    name: str,
+    factory: typing.Callable[["SchedulerSpec"], DiskScheduler],
+    real_time: bool = False,
+    label: typing.Callable[["SchedulerSpec"], str] | None = None,
+) -> None:
+    """Make *name* selectable via ``SchedulerSpec(name)``.
+
+    *factory* builds a fresh scheduler instance from the spec (one per
+    disk).  *real_time* marks algorithms that understand request
+    deadlines.  *label* optionally renders a human-readable table label
+    from the spec.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"scheduler name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = _Registration(factory, real_time, label)
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """Every currently registered scheduler name (registration order)."""
+    return tuple(_REGISTRY)
+
+
+#: The built-in algorithms (legacy constant; prefer
+#: :func:`scheduler_names`, which also sees registered plugins).
 SCHEDULER_NAMES = ("fcfs", "elevator", "round_robin", "gss", "realtime", "edf")
 
 
@@ -30,39 +81,46 @@ class SchedulerSpec:
     gss_groups: int = 1
 
     def __post_init__(self) -> None:
-        if self.name not in SCHEDULER_NAMES:
+        if self.name not in _REGISTRY:
             raise ValueError(
-                f"unknown scheduler {self.name!r}; choose from {SCHEDULER_NAMES}"
+                f"unknown scheduler {self.name!r}; "
+                f"choose from {scheduler_names()}"
             )
 
     @property
     def is_real_time(self) -> bool:
         """Whether the algorithm understands request deadlines."""
-        return self.name in ("realtime", "edf")
+        return _REGISTRY[self.name].real_time
 
     def build(self) -> DiskScheduler:
         """A fresh scheduler instance (one per disk)."""
-        if self.name == "fcfs":
-            return FcfsScheduler()
-        if self.name == "elevator":
-            return ElevatorScheduler()
-        if self.name == "round_robin":
-            return RoundRobinScheduler()
-        if self.name == "gss":
-            return GssScheduler(self.gss_groups)
-        if self.name == "realtime":
-            return RealTimeScheduler(self.priority_classes, self.priority_spacing_s)
-        if self.name == "edf":
-            return EdfScheduler()
-        raise AssertionError(f"unhandled scheduler {self.name!r}")
+        return _REGISTRY[self.name].factory(self)
 
     def label(self) -> str:
         """Human-readable label used in benchmark tables."""
-        if self.name == "realtime":
-            return (
-                f"real-time ({self.priority_classes} prio, "
-                f"{self.priority_spacing_s:g}s spacing)"
-            )
-        if self.name == "gss":
-            return f"GSS ({self.gss_groups} group{'s' if self.gss_groups != 1 else ''})"
+        custom = _REGISTRY[self.name].label
+        if custom is not None:
+            return custom(self)
         return self.name.replace("_", "-")
+
+
+register_scheduler("fcfs", lambda spec: FcfsScheduler())
+register_scheduler("elevator", lambda spec: ElevatorScheduler())
+register_scheduler("round_robin", lambda spec: RoundRobinScheduler())
+register_scheduler(
+    "gss",
+    lambda spec: GssScheduler(spec.gss_groups),
+    label=lambda spec: (
+        f"GSS ({spec.gss_groups} group{'s' if spec.gss_groups != 1 else ''})"
+    ),
+)
+register_scheduler(
+    "realtime",
+    lambda spec: RealTimeScheduler(spec.priority_classes, spec.priority_spacing_s),
+    real_time=True,
+    label=lambda spec: (
+        f"real-time ({spec.priority_classes} prio, "
+        f"{spec.priority_spacing_s:g}s spacing)"
+    ),
+)
+register_scheduler("edf", lambda spec: EdfScheduler(), real_time=True)

@@ -84,12 +84,19 @@ class AdmissionController:
         self._waiting: deque[tuple[Event, float]] = deque()
         self.admitted = 0
         self.queued = 0
+        self.shed_admissions = 0
         self.wait_times = Tally()
+        # Nested shed requests (one per concurrent disk outage).
+        self._shed = 0
 
     def request_slot(self) -> Event:
         """Fires when the stream may start (immediately if room)."""
         event = Event(self.env)
-        if self.limit is None or self.active < self.limit:
+        if self._shed > 0:
+            self.queued += 1
+            self.shed_admissions += 1
+            self._waiting.append((event, self.env.now))
+        elif self.limit is None or self.active < self.limit:
             self.active += 1
             self.admitted += 1
             self.wait_times.record(0.0)
@@ -103,13 +110,39 @@ class AdmissionController:
         """A stream finished; hand its slot to the oldest waiter."""
         if self.active <= 0:
             raise ValueError("release_slot() with no active streams")
-        if self._waiting:
+        if self._waiting and self._shed == 0:
             waiter, requested_at = self._waiting.popleft()
             self.admitted += 1
             self.wait_times.record(self.env.now - requested_at)
             waiter.succeed()
         else:
             self.active -= 1
+
+    # ------------------------------------------------------------------
+    # Load shedding during disk outages (see repro.faults)
+    # ------------------------------------------------------------------
+    def begin_shed(self) -> None:
+        """Stop admitting new streams until :meth:`end_shed`."""
+        self._shed += 1
+
+    def end_shed(self) -> None:
+        if self._shed <= 0:
+            raise ValueError("end_shed() without a matching begin_shed()")
+        self._shed -= 1
+        if self._shed == 0:
+            self._drain_waiters()
+
+    @property
+    def shedding(self) -> bool:
+        return self._shed > 0
+
+    def _drain_waiters(self) -> None:
+        while self._waiting and (self.limit is None or self.active < self.limit):
+            waiter, requested_at = self._waiting.popleft()
+            self.active += 1
+            self.admitted += 1
+            self.wait_times.record(self.env.now - requested_at)
+            waiter.succeed()
 
     @property
     def queue_length(self) -> int:
@@ -118,4 +151,5 @@ class AdmissionController:
     def reset_stats(self) -> None:
         self.admitted = 0
         self.queued = 0
+        self.shed_admissions = 0
         self.wait_times.reset()

@@ -23,6 +23,7 @@ from repro.storage.drive import DiskDrive
 from repro.storage.request import NO_DEADLINE, DiskRequest
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultRuntime
     from repro.layout.base import Layout
     from repro.media.library import VideoLibrary
     from repro.netsim.bus import NetworkBus
@@ -53,6 +54,7 @@ class VideoServerNode:
         block_size: int,
         prefetch_spec: PrefetchSpec,
         prefetchers: list[DiskPrefetcher],
+        faults: "FaultRuntime | None" = None,
     ) -> None:
         self.env = env
         self.node_id = node_id
@@ -66,6 +68,7 @@ class VideoServerNode:
         self.block_size = block_size
         self.prefetch_spec = prefetch_spec
         self.prefetchers = prefetchers
+        self.faults = faults
         self.stats = NodeStats()
 
     # ------------------------------------------------------------------
@@ -121,19 +124,24 @@ class VideoServerNode:
             self.stats.disk_reads += 1
             yield from self.cpu.execute(costs.start_io)
             drive = self.drives[placement.disk_in_node]
-            request = DiskRequest(
-                env,
-                byte_offset=placement.byte_offset,
-                size=size,
-                cylinder=drive.geometry.cylinder_of(placement.byte_offset),
-                deadline=disk_deadline,
-                is_prefetch=False,
-                terminal_id=terminal_id,
-            )
-            request.tighten_deadline(page.deadline_hint)
-            page.disk_request = request
-            drive.submit(request)
-            yield request.done
+            if self.faults is None:
+                request = DiskRequest(
+                    env,
+                    byte_offset=placement.byte_offset,
+                    size=size,
+                    cylinder=drive.geometry.cylinder_of(placement.byte_offset),
+                    deadline=disk_deadline,
+                    is_prefetch=False,
+                    terminal_id=terminal_id,
+                )
+                request.tighten_deadline(page.deadline_hint)
+                page.disk_request = request
+                drive.submit(request)
+                yield request.done
+            else:
+                yield from self._read_degraded(
+                    page, placement, size, disk_deadline, terminal_id, drive
+                )
             self.pool.finish_io(page)
         elif status == INFLIGHT:
             # Merge onto the in-flight (usually prefetch) read, lending
@@ -151,6 +159,49 @@ class VideoServerNode:
         self.pool.unpin(page)
         self.stats.service_time.record(env.now - arrived)
         done.succeed(env.now)
+        return None
+
+    def _read_degraded(self, page, placement, size, disk_deadline, terminal_id, drive):
+        """MISS-path disk read with per-request timeout and bounded retry.
+
+        Active only when fault injection is configured.  Each dispatch
+        races ``request_timeout_s``; a timed-out request is cancelled and
+        re-dispatched up to ``max_retries`` times.  A read that exhausts
+        its retries — or whose drive has failed permanently — is *failed
+        over*: served after ``failover_penalty_s`` (modelling a replica
+        fetch or error concealment) so the stream degrades instead of
+        hanging on dead hardware.
+        """
+        env = self.env
+        spec = self.faults.spec
+        attempt = 0
+        while True:
+            request = DiskRequest(
+                env,
+                byte_offset=placement.byte_offset,
+                size=size,
+                cylinder=drive.geometry.cylinder_of(placement.byte_offset),
+                deadline=disk_deadline,
+                is_prefetch=False,
+                terminal_id=terminal_id,
+            )
+            request.tighten_deadline(page.deadline_hint)
+            page.disk_request = request
+            drive.submit(request)
+            yield env.any_of([request.done, env.timeout(spec.request_timeout_s)])
+            if request.done.triggered:
+                if not request.failed:
+                    return None
+                self.faults.note_failed_read(drive.disk_id, terminal_id)
+                break
+            request.cancel()
+            attempt += 1
+            if attempt > spec.max_retries:
+                self.faults.note_abandoned(drive.disk_id, terminal_id)
+                break
+            self.faults.note_retry(drive.disk_id, terminal_id, attempt)
+        if spec.failover_penalty_s > 0:
+            yield env.timeout(spec.failover_penalty_s)
         return None
 
     # ------------------------------------------------------------------

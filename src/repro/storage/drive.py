@@ -84,6 +84,11 @@ class DiskDrive:
         self.reads = 0
         self.bytes_read = 0
         self._work = Gate(env)
+        # Fault-injection state (see repro.faults); all inert by default.
+        self.failed = False
+        self._slow_multipliers: list[float] = []
+        self._outages = 0
+        self._outage_gate = Gate(env)
         env.process(self._run(), name=f"disk-{disk_id}")
 
     # ------------------------------------------------------------------
@@ -97,18 +102,75 @@ class DiskDrive:
         return request
 
     # ------------------------------------------------------------------
+    # Fault injection (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def add_slowdown(self, multiplier: float) -> None:
+        """Stretch every service time by *multiplier* until removed."""
+        if multiplier < 1.0:
+            raise ValueError(f"slowdown multiplier must be >= 1, got {multiplier}")
+        self._slow_multipliers.append(multiplier)
+
+    def remove_slowdown(self, multiplier: float) -> None:
+        self._slow_multipliers.remove(multiplier)
+
+    def begin_outage(self) -> None:
+        """Stop servicing requests; queued work waits until the outage ends."""
+        self._outages += 1
+
+    def end_outage(self) -> None:
+        if self._outages <= 0:
+            raise ValueError("end_outage() without a matching begin_outage()")
+        self._outages -= 1
+        if self._outages == 0:
+            self._outage_gate.open()
+
+    def fail_permanently(self) -> None:
+        """Take the drive offline for good.
+
+        Every queued and future request completes immediately with
+        ``failed=True`` so submitters never hang on a dead drive.
+        """
+        self.failed = True
+        self._work.open()
+        self._outage_gate.open()
+
+    @property
+    def in_outage(self) -> bool:
+        return self._outages > 0
+
+    def _fail_queued(self) -> None:
+        env = self.env
+        while len(self.scheduler) > 0:
+            request = self.scheduler.pop(env.now, self.head_cylinder)
+            request.fail_read()
+        self.queue_length.update(env.now, 0)
+
+    # ------------------------------------------------------------------
     # The drive's service loop
     # ------------------------------------------------------------------
     def _run(self):
         env = self.env
         while True:
+            if self.failed:
+                self._fail_queued()
+                yield self._work.wait()
+                continue
+            if self._outages > 0:
+                yield self._outage_gate.wait()
+                continue
             if len(self.scheduler) == 0:
                 yield self._work.wait()
                 continue
             request = self.scheduler.pop(env.now, self.head_cylinder)
             self.queue_length.update(env.now, len(self.scheduler))
+            if request.cancelled:
+                # The submitter timed out and re-dispatched; discard.
+                request.complete()
+                continue
             request.started_at = env.now
             service = self._service_time(request)
+            for multiplier in self._slow_multipliers:
+                service *= multiplier
             self.busy.begin(env.now)
             yield env.timeout(service)
             self.busy.end(env.now)

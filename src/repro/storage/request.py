@@ -41,6 +41,8 @@ class DiskRequest:
         "done",
         "started_at",
         "completed_at",
+        "cancelled",
+        "failed",
     )
 
     def __init__(
@@ -68,6 +70,11 @@ class DiskRequest:
         self.done = Event(env)
         self.started_at: float | None = None
         self.completed_at: float | None = None
+        #: Set when the submitter gave up (degraded-mode timeout); the
+        #: drive discards the request instead of servicing it.
+        self.cancelled = False
+        #: Set when the read completed unsuccessfully (drive failed).
+        self.failed = False
 
     @property
     def slack(self) -> float:
@@ -82,6 +89,15 @@ class DiskRequest:
     def complete(self) -> None:
         self.completed_at = self.env.now
         self.done.succeed(self)
+
+    def cancel(self) -> None:
+        """Tell the drive the submitter no longer wants this read."""
+        self.cancelled = True
+
+    def fail_read(self) -> None:
+        """Complete the request unsuccessfully (permanent drive failure)."""
+        self.failed = True
+        self.complete()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "prefetch" if self.is_prefetch else "read"

@@ -14,6 +14,11 @@ from collections import Counter, deque
 
 from repro.sim.environment import Environment
 
+#: Event kinds emitted by the fault-injection subsystem.
+FAULT_START = "fault.start"
+FAULT_END = "fault.end"
+FAULT_RETRY = "fault.retry"
+
 
 class TraceEvent(typing.NamedTuple):
     time: float

@@ -33,6 +33,9 @@ class TerminalStats:
 
     def reset(self) -> None:
         self.glitches = 0
+        #: Glitches that began while an injected fault was active (or
+        #: just after one ended) — see repro.faults.
+        self.fault_glitches = 0
         self.glitch_durations = Tally()
         self.startup_latency = Tally()
         self.response_time = Tally()
@@ -249,6 +252,9 @@ class Terminal:
         """
         started = self.env.now
         self.stats.glitches += 1
+        attributable = getattr(self.fabric, "fault_attributable", None)
+        if attributable is not None and attributable():
+            self.stats.fault_glitches += 1
         # The requester may be asleep on a full buffer; the required
         # block count can have grown (oversized frame), so wake it.
         self._slot_gate.open()

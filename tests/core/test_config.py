@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import GB, KB, MB, SpiffiConfig
+from repro import GB, KB, LayoutSpec, MB, ReplacementSpec, SpiffiConfig
 from repro.prefetch import PrefetchSpec
 from repro.sched import SchedulerSpec
 
@@ -36,16 +36,24 @@ class TestDefaults:
 
 class TestValidation:
     def test_bad_layout(self):
-        with pytest.raises(ValueError):
-            SpiffiConfig(layout="raid5")
+        # The error names the registered layouts so plugin authors can
+        # see what is actually available.
+        with pytest.raises(ValueError, match="striped"):
+            SpiffiConfig(layout=LayoutSpec("raid5"))
 
     def test_bad_policy(self):
-        with pytest.raises(ValueError):
-            SpiffiConfig(replacement_policy="mru")
+        with pytest.raises(ValueError, match="global_lru"):
+            SpiffiConfig(replacement_policy=ReplacementSpec("mru"))
 
     def test_bad_access_model(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="zipf"):
             SpiffiConfig(access_model="pareto")
+
+    def test_wrong_spec_type(self):
+        with pytest.raises(TypeError):
+            SpiffiConfig(layout=42)
+        with pytest.raises(TypeError):
+            SpiffiConfig(replacement_policy=3.5)
 
     def test_terminal_memory_too_small(self):
         with pytest.raises(ValueError):
@@ -64,6 +72,30 @@ class TestValidation:
             SpiffiConfig(measure_s=0)
 
 
+class TestLegacyStrings:
+    """Bare component names still work, but warn."""
+
+    def test_layout_string_coerces_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="LayoutSpec"):
+            config = SpiffiConfig(layout="nonstriped")
+        assert config.layout == LayoutSpec("nonstriped")
+
+    def test_replacement_string_coerces_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="ReplacementSpec"):
+            config = SpiffiConfig(replacement_policy="love_prefetch")
+        assert config.replacement_policy == ReplacementSpec("love_prefetch")
+
+    def test_bad_legacy_string_still_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="striped"):
+                SpiffiConfig(layout="raid5")
+
+    def test_coerced_config_equals_spec_config(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = SpiffiConfig(layout="nonstriped")
+        assert legacy == SpiffiConfig(layout=LayoutSpec("nonstriped"))
+
+
 class TestReplace:
     def test_replace_returns_new_config(self):
         config = SpiffiConfig()
@@ -76,7 +108,7 @@ class TestReplace:
         config = SpiffiConfig(
             scheduler=SchedulerSpec("realtime"),
             prefetch=PrefetchSpec("delayed"),
-            replacement_policy="love_prefetch",
+            replacement_policy=ReplacementSpec("love_prefetch"),
         )
         text = config.describe()
         assert "real-time" in text

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro import MB, SpiffiConfig, SpiffiSystem, run_simulation
+from repro import LayoutSpec, MB, ReplacementSpec, SpiffiConfig, SpiffiSystem, run_simulation
 from repro.prefetch import PrefetchSpec
 from repro.sched import SchedulerSpec
 
@@ -99,7 +99,9 @@ class TestAlgorithmWiring:
         metrics = run_simulation(config)
         assert metrics.blocks_delivered > 0
 
-    @pytest.mark.parametrize("policy", ["global_lru", "love_prefetch"])
+    @pytest.mark.parametrize(
+        "policy", [ReplacementSpec("global_lru"), ReplacementSpec("love_prefetch")]
+    )
     def test_every_policy_runs(self, policy):
         metrics = run_simulation(
             tiny_config(replacement_policy=policy, measure_s=10.0, terminals=4)
@@ -107,7 +109,7 @@ class TestAlgorithmWiring:
         assert metrics.blocks_delivered > 0
 
     def test_nonstriped_layout_runs(self):
-        metrics = run_simulation(tiny_config(layout="nonstriped", measure_s=10.0))
+        metrics = run_simulation(tiny_config(layout=LayoutSpec("nonstriped"), measure_s=10.0))
         assert metrics.blocks_delivered > 0
 
     def test_prefetching_yields_buffer_hits(self):

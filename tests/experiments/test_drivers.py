@@ -59,7 +59,7 @@ def fake_capacity(config):
     # Capacity depends deterministically on a few config fields so
     # drivers produce stable, assertable tables.
     capacity = 220
-    if config.layout == "nonstriped":
+    if config.layout.name == "nonstriped":
         capacity = 40 if config.access_model == "zipf" else 80
     capacity += 10 * (config.disk_count // 16 - 1) * 16
     return capacity

@@ -12,15 +12,18 @@ import random
 import pytest
 
 import repro.experiments.runner as runner_module
+from repro.bufferpool.registry import ReplacementSpec
 from repro.core.config import MB, SpiffiConfig
 from repro.core.metrics import RunMetrics
 from repro.experiments.results import (
     ExperimentResult,
     RunCache,
     config_digest,
+    config_to_dict,
     metrics_from_dict,
     metrics_to_dict,
 )
+from repro.faults import FaultSpec
 from repro.experiments.runner import (
     ProcessExecutor,
     Runner,
@@ -90,7 +93,7 @@ def example_metrics(**overrides):
 class TestPicklability:
     def test_config_round_trips_through_pickle(self):
         config = tiny_config(
-            replacement_policy="love_prefetch",
+            replacement_policy=ReplacementSpec("love_prefetch"),
             access_model="zipf",
             zipf_skew=1.5,
         )
@@ -234,6 +237,68 @@ class TestConfigDigest:
             tiny_config(scheduler=SchedulerSpec("gss", gss_groups=2))
         )
         assert other != base
+
+
+class TestFaultSpecCaching:
+    """FaultSpec participates in run identity without disturbing it.
+
+    A default (empty) spec must hash exactly like a config from before
+    the field existed — cache entries stay valid — while any non-empty
+    spec must produce a distinct digest.
+    """
+
+    def test_empty_faults_dropped_from_canonical_dict(self):
+        data = config_to_dict(tiny_config())
+        assert "faults" not in data
+
+    def test_nonempty_faults_serialized(self):
+        config = tiny_config(faults=FaultSpec(disk_fault_rate_per_hour=6.0))
+        data = config_to_dict(config)
+        assert data["faults"]["disk_fault_rate_per_hour"] == 6.0
+
+    def test_fault_spec_changes_digest(self):
+        base = config_digest(tiny_config())
+        faulty = config_digest(
+            tiny_config(faults=FaultSpec(disk_fault_rate_per_hour=6.0))
+        )
+        assert faulty != base
+        # Degraded-mode knobs are part of run identity too.
+        tweaked = config_digest(
+            tiny_config(
+                faults=FaultSpec(disk_fault_rate_per_hour=6.0, max_retries=5)
+            )
+        )
+        assert tweaked not in (base, faulty)
+
+    def test_explicit_default_spec_matches_omitted(self):
+        assert config_digest(tiny_config(faults=FaultSpec())) == config_digest(
+            tiny_config()
+        )
+
+    def test_cache_round_trips_fault_metrics(self, tmp_path):
+        config = tiny_config(faults=FaultSpec(disk_fault_rate_per_hour=6.0))
+        metrics = example_metrics(
+            fault_glitches=2,
+            fault_events_injected=3,
+            fault_retries=7,
+            fault_abandoned_reads=1,
+            fault_failed_reads=4,
+        )
+        cache = RunCache(str(tmp_path / "cache"))
+        cache.store(config, metrics)
+        loaded = cache.load(config)
+        assert loaded == metrics
+        assert loaded.fault_retries == 7
+        # The clean config does not see the faulty entry.
+        assert cache.load(tiny_config()) is None
+
+    def test_fault_config_round_trips_through_pickle(self):
+        config = tiny_config(
+            faults=FaultSpec(disk_fault_rate_per_hour=6.0, fail_weight=0.5)
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.faults == config.faults
 
 
 class TestSerialization:

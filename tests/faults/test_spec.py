@@ -1,0 +1,82 @@
+"""Tests for FaultSpec validation and identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultSpec
+
+
+class TestDefaults:
+    def test_default_is_disabled(self):
+        spec = FaultSpec()
+        assert not spec.enabled
+        assert spec.disk_fault_rate_per_hour == 0.0
+        assert spec.network_fault_rate_per_hour == 0.0
+
+    def test_disk_rate_enables(self):
+        assert FaultSpec(disk_fault_rate_per_hour=1.0).enabled
+
+    def test_network_rate_enables(self):
+        assert FaultSpec(network_fault_rate_per_hour=1.0).enabled
+
+    def test_label(self):
+        assert FaultSpec().label() == "no faults"
+        assert "disk" in FaultSpec(disk_fault_rate_per_hour=6.0).label()
+        assert "net" in FaultSpec(network_fault_rate_per_hour=2.0).label()
+
+
+class TestValidation:
+    def test_negative_rate(self):
+        with pytest.raises(ValueError):
+            FaultSpec(disk_fault_rate_per_hour=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(network_fault_rate_per_hour=-1.0)
+
+    def test_zero_total_weight_with_rate(self):
+        with pytest.raises(ValueError):
+            FaultSpec(
+                disk_fault_rate_per_hour=1.0,
+                slow_weight=0.0,
+                outage_weight=0.0,
+                fail_weight=0.0,
+            )
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            FaultSpec(slow_weight=-1.0)
+
+    def test_multipliers_must_slow_things_down(self):
+        with pytest.raises(ValueError):
+            FaultSpec(slow_latency_multiplier=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(network_latency_multiplier=0.0)
+
+    def test_nonpositive_durations(self):
+        with pytest.raises(ValueError):
+            FaultSpec(mean_slow_duration_s=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(mean_outage_duration_s=-2.0)
+
+    def test_timeout_and_retries(self):
+        with pytest.raises(ValueError):
+            FaultSpec(request_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(failover_penalty_s=-0.1)
+
+
+class TestIdentity:
+    def test_equality_is_field_wise(self):
+        assert FaultSpec() == FaultSpec()
+        assert FaultSpec(disk_fault_rate_per_hour=6.0) == FaultSpec(
+            disk_fault_rate_per_hour=6.0
+        )
+        assert FaultSpec(disk_fault_rate_per_hour=6.0) != FaultSpec()
+
+    def test_hashable_and_frozen(self):
+        spec = FaultSpec()
+        assert hash(spec) == hash(FaultSpec())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.disk_fault_rate_per_hour = 1.0

@@ -6,7 +6,7 @@ experiments; the benchmark suite runs the paper-scale versions.
 
 import pytest
 
-from repro import MB, SpiffiConfig, run_simulation
+from repro import LayoutSpec, MB, ReplacementSpec, SpiffiConfig, run_simulation
 from repro.prefetch import PrefetchSpec
 from repro.sched import SchedulerSpec
 
@@ -35,16 +35,16 @@ class TestStriping:
     def test_striped_beats_nonstriped_under_zipf(self):
         # z = 1.5 concentrates ~61% of requests on the top video; its
         # single disk saturates without striping.
-        striped = run_simulation(config(layout="striped", terminals=44,
+        striped = run_simulation(config(layout=LayoutSpec("striped"), terminals=44,
                                         zipf_skew=1.5))
-        non = run_simulation(config(layout="nonstriped", terminals=44,
+        non = run_simulation(config(layout=LayoutSpec("nonstriped"), terminals=44,
                                     zipf_skew=1.5))
         assert striped.glitches == 0
         assert non.glitches > 0
 
     def test_nonstriped_leaves_disks_idle(self):
-        non = run_simulation(config(layout="nonstriped", terminals=24))
-        striped = run_simulation(config(layout="striped", terminals=24))
+        non = run_simulation(config(layout=LayoutSpec("nonstriped"), terminals=24))
+        striped = run_simulation(config(layout=LayoutSpec("striped"), terminals=24))
         # Hot disks + idle disks: utilization spread is much wider
         # without striping.
         spread_non = non.disk_utilization_max - non.disk_utilization_min
@@ -80,11 +80,11 @@ class TestMemoryAlgorithms:
     def test_love_wastes_fewer_prefetches_at_low_memory(self):
         low = 24 * MB
         lru = run_simulation(config(
-            server_memory_bytes=low, replacement_policy="global_lru",
+            server_memory_bytes=low, replacement_policy=ReplacementSpec("global_lru"),
             prefetch=PrefetchSpec("standard", pool_share=0.5), terminals=40,
         ))
         love = run_simulation(config(
-            server_memory_bytes=low, replacement_policy="love_prefetch",
+            server_memory_bytes=low, replacement_policy=ReplacementSpec("love_prefetch"),
             prefetch=PrefetchSpec("standard", pool_share=0.5), terminals=40,
         ))
         assert love.wasted_prefetches <= lru.wasted_prefetches
@@ -93,7 +93,7 @@ class TestMemoryAlgorithms:
     def test_delayed_prefetch_eliminates_waste(self):
         rt = dict(scheduler=SchedulerSpec("realtime"), terminals=40,
                   server_memory_bytes=48 * MB,
-                  replacement_policy="love_prefetch")
+                  replacement_policy=ReplacementSpec("love_prefetch"))
         undelayed = run_simulation(config(
             prefetch=PrefetchSpec("realtime", processes_per_disk=4, depth=4),
             **rt,

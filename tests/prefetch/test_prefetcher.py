@@ -1,5 +1,7 @@
 """Tests for the per-disk prefetchers (standard, real-time, delayed)."""
 
+import math
+
 import pytest
 
 from repro.bufferpool import BufferPool, make_policy
@@ -21,7 +23,7 @@ def make_rig(env, spec, pool_capacity=16):
     return prefetcher, pool, drive
 
 
-def order(block, deadline=float("inf"), size=1024):
+def order(block, deadline=math.inf, size=1024):
     return PrefetchOrder(
         key=("v", block),
         size=size,

@@ -1,5 +1,7 @@
 """Deeper scheduler properties: fairness, degeneracy, and ordering."""
 
+import math
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +15,7 @@ from repro.sim import Environment
 from repro.storage.request import DiskRequest
 
 
-def req(env, cylinder, deadline=float("inf"), terminal=0):
+def req(env, cylinder, deadline=math.inf, terminal=0):
     return DiskRequest(env, cylinder * 1_310_720, 1024, cylinder,
                        deadline=deadline, terminal_id=terminal)
 

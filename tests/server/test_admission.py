@@ -94,6 +94,56 @@ class TestAdmissionController:
             controller.release_slot()
 
 
+class TestShedding:
+    """Degraded mode: admission pauses while a disk outage is active."""
+
+    def test_shed_queues_even_with_capacity(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=4)
+        controller.begin_shed()
+        waiter = controller.request_slot()
+        assert not waiter.triggered
+        assert controller.shed_admissions == 1
+        controller.end_shed()
+        assert waiter.triggered
+
+    def test_release_does_not_admit_while_shedding(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        waiter = controller.request_slot()
+        controller.begin_shed()
+        controller.release_slot()
+        assert not waiter.triggered
+        controller.end_shed()
+        assert waiter.triggered
+
+    def test_nested_sheds_drain_at_zero(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=2)
+        controller.begin_shed()
+        controller.begin_shed()
+        waiter = controller.request_slot()
+        controller.end_shed()
+        assert controller.shedding
+        assert not waiter.triggered
+        controller.end_shed()
+        assert not controller.shedding
+        assert waiter.triggered
+
+    def test_drain_respects_capacity(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        controller.begin_shed()
+        waiter = controller.request_slot()
+        controller.end_shed()
+        # The slot is still held; the waiter keeps waiting.
+        assert not waiter.triggered
+        controller.release_slot()
+        assert waiter.triggered
+
+
 class TestEndToEndAdmission:
     def test_fixed_cap_prevents_overload_glitches(self):
         from repro import MB, SpiffiConfig, run_simulation

@@ -15,7 +15,7 @@ class TestEventStates:
     def test_value_before_trigger_is_error(self):
         env = Environment()
         with pytest.raises(EventLifecycleError):
-            env.event().value
+            _ = env.event().value
 
     def test_triggered_before_processed(self):
         env = Environment()
