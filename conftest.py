@@ -1,13 +1,46 @@
-"""Ensure the in-tree package is importable even without installation.
+"""Ensure the in-tree package is importable even without installation,
+and put a global wall-clock timeout on every test.
 
 ``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
 installs, which is unavailable in offline environments; this fallback
 makes ``pytest`` work straight from a checkout either way.
+
+The timeout (``REPRO_TEST_TIMEOUT_S`` seconds per test, default 300;
+0 disables) turns a hung simulation — an event loop that stops making
+progress — into a failing test instead of a CI job that idles until
+the runner is killed.  It is implemented with ``SIGALRM`` so it needs
+no third-party plugin; on platforms without ``SIGALRM`` it is a no-op.
 """
 
 import os
+import signal
 import sys
+
+import pytest
 
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if TEST_TIMEOUT_S <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT_S={TEST_TIMEOUT_S}s "
+            f"(hung simulation?): {item.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

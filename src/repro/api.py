@@ -45,6 +45,7 @@ from repro.faults import FaultEvent, FaultSpec, build_schedule
 from repro.layout.registry import LayoutSpec, layout_names, register_layout
 from repro.media.access import access_model_names, register_access_model
 from repro.prefetch.spec import PrefetchSpec
+from repro.replication import ReplicationSpec
 from repro.sched.registry import SchedulerSpec, register_scheduler, scheduler_names
 from repro.server.admission import AdmissionSpec
 from repro.terminal.pauses import PauseModel
@@ -62,6 +63,7 @@ __all__ = [
     "PrefetchSpec",
     "ProcessExecutor",
     "ReplacementSpec",
+    "ReplicationSpec",
     "RunCache",
     "RunMetrics",
     "Runner",

@@ -14,10 +14,15 @@ import warnings
 from repro.bufferpool.registry import ReplacementSpec
 from repro.cpu.costs import CpuParameters
 from repro.faults.spec import FaultSpec
-from repro.layout.registry import LayoutSpec
+from repro.layout.registry import (
+    LayoutSpec,
+    layout_supports_replication,
+    replicated_layout_names,
+)
 from repro.media.access import access_model_names
 from repro.netsim.bus import NetworkParameters
 from repro.prefetch.spec import PrefetchSpec
+from repro.replication.spec import ReplicationSpec
 from repro.sched.registry import SchedulerSpec
 from repro.server.admission import AdmissionSpec
 from repro.storage.drive import DriveParameters
@@ -88,6 +93,12 @@ class SpiffiConfig:
     #: build without the fault subsystem (see :mod:`repro.faults`).
     faults: FaultSpec = dataclasses.field(default_factory=FaultSpec)
 
+    # --- replication & recovery --------------------------------------------
+    #: Single copy by default: no replica machinery is built, and runs
+    #: are bit-identical to a build without the replication subsystem
+    #: (see :mod:`repro.replication`).
+    replication: ReplicationSpec = dataclasses.field(default_factory=ReplicationSpec)
+
     # --- messaging --------------------------------------------------------
     control_message_bytes: int = 128
 
@@ -135,6 +146,44 @@ class SpiffiConfig:
             )
         if not isinstance(self.faults, FaultSpec):
             raise TypeError(f"faults must be a FaultSpec, got {self.faults!r}")
+        if not isinstance(self.replication, ReplicationSpec):
+            raise TypeError(
+                f"replication must be a ReplicationSpec, got {self.replication!r}"
+            )
+        if self.replication.factor > 1:
+            if not layout_supports_replication(self.layout.name):
+                raise ValueError(
+                    f"layout {self.layout.name!r} stores a single copy; a "
+                    f"replication factor of {self.replication.factor} needs "
+                    f"one of {replicated_layout_names()}"
+                )
+            if self.replication.factor > self.disk_count:
+                raise ValueError(
+                    f"replication factor {self.replication.factor} exceeds "
+                    f"the {self.disk_count} disks available"
+                )
+        # Scripted permanent failures must leave every block at least
+        # one surviving copy (and always at least one surviving disk).
+        out_of_range = [
+            disk for disk in self.faults.fail_disk_ids
+            if disk >= self.disk_count
+        ]
+        if out_of_range:
+            raise ValueError(
+                f"fail_disk_ids {out_of_range} out of range for "
+                f"{self.disk_count} disks (valid: 0..{self.disk_count - 1})"
+            )
+        survivors_needed = max(1, self.replication.factor)
+        fail_limit = self.disk_count - survivors_needed
+        if len(self.faults.fail_disk_ids) > fail_limit:
+            raise ValueError(
+                f"fault spec permanently fails "
+                f"{len(self.faults.fail_disk_ids)} of {self.disk_count} "
+                f"disks, but at most {fail_limit} may fail: replication "
+                f"factor {self.replication.factor} needs "
+                f"{survivors_needed} surviving disk(s) to keep blocks "
+                f"readable"
+            )
         if self.access_model not in access_model_names():
             raise ValueError(
                 f"unknown access model {self.access_model!r}; "
@@ -169,6 +218,11 @@ class SpiffiConfig:
     @property
     def video_count(self) -> int:
         return self.videos_per_disk * self.disk_count
+
+    @property
+    def replication_factor(self) -> int:
+        """Copies stored of every block (1 = unreplicated)."""
+        return self.replication.factor
 
     @property
     def pages_per_node(self) -> int:

@@ -61,6 +61,15 @@ class RunMetrics:
     fault_retries: int = 0
     fault_abandoned_reads: int = 0
     fault_failed_reads: int = 0
+    # Replication & recovery (all zero unless replication_factor > 1;
+    # defaulted for the same cached-metrics compatibility reason).
+    failover_reads: int = 0
+    remote_replica_reads: int = 0
+    rebuild_reads: int = 0
+    rebuild_blocks: int = 0
+    rebuild_io_bytes: int = 0
+    rebuilds_completed: int = 0
+    mean_time_to_rebuild_s: float = 0.0
     # Execution accounting (stamped by ``run_simulation`` via
     # ``repro.telemetry.runstats``; zero when a system is run directly).
     # Wall time is host-dependent, so it does not participate in
@@ -103,12 +112,19 @@ class RunMetrics:
                 f" fault_glitches={self.fault_glitches}"
                 f" retries={self.fault_retries}"
             )
+        if self.failover_reads or self.rebuilds_completed:
+            text += (
+                f" failovers={self.failover_reads}"
+                f" rebuilt_blocks={self.rebuild_blocks}"
+            )
         return text
 
 
 def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
     """Read the post-measurement statistics out of a finished system."""
     terminals = system.terminals
+    replication = getattr(system, "replication", None)
+    repl_stats = replication.stats if replication is not None else None
     pools = [node.pool for node in system.nodes]
     drives = [drive for node in system.nodes for drive in node.drives]
     prefetchers = [p for node in system.nodes for p in node.prefetchers]
@@ -183,5 +199,18 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
         ),
         fault_failed_reads=(
             system.faults.stats.failed_reads if system.faults else 0
+        ),
+        failover_reads=repl_stats.failover_reads if repl_stats else 0,
+        remote_replica_reads=(
+            repl_stats.remote_replica_reads if repl_stats else 0
+        ),
+        rebuild_reads=repl_stats.rebuild_reads if repl_stats else 0,
+        rebuild_blocks=repl_stats.rebuild_blocks if repl_stats else 0,
+        rebuild_io_bytes=repl_stats.rebuild_bytes if repl_stats else 0,
+        rebuilds_completed=repl_stats.rebuilds_completed if repl_stats else 0,
+        mean_time_to_rebuild_s=(
+            repl_stats.rebuild_durations.mean
+            if repl_stats and repl_stats.rebuild_durations.count
+            else 0.0
         ),
     )

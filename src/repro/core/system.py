@@ -17,6 +17,9 @@ from repro.media.mpeg import MpegProfile
 from repro.analytic.capacity import StreamParameters
 from repro.netsim.bus import NetworkBus
 from repro.prefetch.prefetcher import DiskPrefetcher
+from repro.replication.health import HealthMonitor
+from repro.replication.rebuild import RebuildManager
+from repro.replication.runtime import ReplicationRuntime
 from repro.server.admission import AdmissionController
 from repro.server.node import VideoServerNode
 from repro.server.piggyback import PiggybackCoordinator
@@ -84,6 +87,7 @@ class SpiffiSystem:
             config.disks_per_node,
             config.stripe_bytes,
             rng.spawn("layout"),
+            replication_factor=config.replication.factor,
         )
 
         self.bus = NetworkBus(self.env, config.network)
@@ -160,6 +164,26 @@ class SpiffiSystem:
                 )
             )
 
+        all_drives = [drive for node in self.nodes for drive in node.drives]
+
+        # Replication runtime exists only above factor 1, so the default
+        # spec leaves the terminal/node fast paths intact.
+        self.replication: ReplicationRuntime | None = None
+        self.rebuild: RebuildManager | None = None
+        if config.replication.enabled:
+            health = HealthMonitor(
+                self.env, config.disk_count, config.replication.suspect_cooldown_s
+            )
+            self.replication = ReplicationRuntime(
+                self.env, config.replication, self.layout, all_drives, health
+            )
+            for node in self.nodes:
+                node.replication = self.replication
+            if config.replication.rebuild and config.faults.enabled:
+                self.rebuild = RebuildManager(
+                    self.env, self.replication, self.library, self.block_size
+                )
+
         self.fault_injector: FaultInjector | None = None
         if self.faults is not None:
             schedule = build_schedule(
@@ -172,9 +196,12 @@ class SpiffiSystem:
                 self.env,
                 self.faults,
                 schedule,
-                drives=[drive for node in self.nodes for drive in node.drives],
+                drives=all_drives,
                 bus=self.bus,
                 admission=self.admission,
+                health=(
+                    self.replication.health if self.replication is not None else None
+                ),
             )
 
         access = make_access_model(
@@ -201,6 +228,13 @@ class SpiffiSystem:
     def node(self, index: int) -> VideoServerNode:
         return self.nodes[index]
 
+    def locate_block(self, video_id: int, block: int):
+        """Where a terminal should send its read: the primary placement,
+        or — with replication configured — the routed replica."""
+        if self.replication is not None:
+            return self.replication.route(video_id, block)
+        return self.layout.locate(video_id, block)
+
     def request_start(self, video_id: int) -> Event | None:
         return self.piggyback.request_start(video_id)
 
@@ -223,6 +257,9 @@ class SpiffiSystem:
 
         recorder = TraceRecorder(self.env, capacity=capacity)
         self.faults.trace = recorder
+        if self.replication is not None:
+            self.replication.trace = recorder
+            self.replication.health.trace = recorder
         return recorder
 
     # ------------------------------------------------------------------
@@ -263,6 +300,8 @@ class SpiffiSystem:
         self.admission.reset_stats()
         if self.faults is not None:
             self.faults.reset_stats()
+        if self.replication is not None:
+            self.replication.reset_stats()
 
     # ------------------------------------------------------------------
     # Extra probes used by figures

@@ -50,6 +50,12 @@ class _ProgressPrinter:
         with self._lock:
             self.runs += 1
             self.cached += 1 if outcome.cached else 0
+            if outcome.failed:
+                print(
+                    f"  [error ] {outcome.tag or 'run'}: {outcome.error}",
+                    file=self.stream,
+                )
+                return
             status = "cache" if outcome.cached else f"{outcome.wall_time_s:6.2f}s"
             print(
                 f"  [{status}] {outcome.tag or 'run'}: "

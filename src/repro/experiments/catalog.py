@@ -10,6 +10,7 @@ from __future__ import annotations
 import typing
 
 from repro.experiments import figures, tables
+from repro.experiments.availability import availability
 from repro.experiments.faultsweep import faultsweep
 from repro.experiments.results import ExperimentResult
 
@@ -30,6 +31,7 @@ EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "table3": tables.table3_disk_cost,
     "sec82": figures.sec82_piggyback,
     "faultsweep": faultsweep,
+    "availability": availability,
 }
 
 

@@ -26,6 +26,7 @@ from repro.core.config import SpiffiConfig
 from repro.core.metrics import RunMetrics
 from repro.experiments.report import format_table, results_dir
 from repro.faults.spec import FaultSpec
+from repro.replication.spec import ReplicationSpec
 
 #: Bump when the meaning of cached entries changes (config or metrics
 #: schema, simulator semantics) to invalidate every existing entry.
@@ -91,16 +92,19 @@ def config_to_dict(config: SpiffiConfig) -> dict:
 
     The dict is *canonical*: component specs that carry only a name
     (layout, replacement policy) serialize as the bare name string, and
-    an empty fault spec is omitted entirely — so a config expressible
-    before those fields became specs (or before fault injection
-    existed) serializes, and therefore hashes, exactly as it always
-    did.  Cached runs stay valid across the API change.
+    default (inert) fault and replication specs are omitted entirely —
+    so a config expressible before those fields became specs (or before
+    fault injection / replication existed) serializes, and therefore
+    hashes, exactly as it always did.  Cached runs stay valid across
+    the API change.
     """
     data = dataclasses.asdict(config)
     data["layout"] = config.layout.name
     data["replacement_policy"] = config.replacement_policy.name
     if config.faults == FaultSpec():
         del data["faults"]
+    if config.replication == ReplicationSpec():
+        del data["replication"]
     return data
 
 

@@ -35,6 +35,7 @@ import contextlib
 import dataclasses
 import threading
 import typing
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.config import SpiffiConfig
 from repro.core.metrics import RunMetrics
@@ -47,21 +48,40 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclasses.dataclass(frozen=True)
 class RunRequest:
-    """One simulation to execute: a full config plus a display tag."""
+    """One simulation to execute: a full config plus a display tag.
+
+    ``max_wall_s`` is a per-run watchdog enforced by
+    :class:`ProcessExecutor`: a worker that has not returned within the
+    budget is presumed hung, its pool is recycled, and the run is
+    retried once before being reported as an error outcome.  ``None``
+    disables the watchdog (the default).
+    """
 
     config: SpiffiConfig
     tag: str = ""
+    max_wall_s: float | None = None
 
 
 @dataclasses.dataclass(frozen=True)
 class RunOutcome:
-    """One finished simulation: its metrics and how long it took."""
+    """One finished simulation: its metrics and how long it took.
+
+    A run that crashed its worker or exceeded its watchdog (after one
+    retry) carries ``metrics=None`` and a diagnostic in ``error``
+    instead of aborting the whole batch; grid drivers surface these via
+    :func:`run_grid`, which raises after the batch completes.
+    """
 
     tag: str
     config: SpiffiConfig
-    metrics: RunMetrics
+    metrics: RunMetrics | None
     wall_time_s: float
     cached: bool = False
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def execute_request(request: RunRequest) -> RunOutcome:
@@ -73,6 +93,27 @@ def execute_request(request: RunRequest) -> RunOutcome:
         metrics=metrics,
         wall_time_s=getattr(metrics, "wall_time_s", 0.0),
     )
+
+
+def _error_outcome(request: RunRequest, exc: BaseException) -> RunOutcome:
+    return RunOutcome(
+        tag=request.tag,
+        config=request.config,
+        metrics=None,
+        wall_time_s=0.0,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def _execute_with_retry(request: RunRequest) -> RunOutcome:
+    """In-process execution with one retry, never raising."""
+    try:
+        return execute_request(request)
+    except Exception:
+        try:
+            return execute_request(request)
+        except Exception as exc:
+            return _error_outcome(request, exc)
 
 
 class Executor(typing.Protocol):
@@ -90,12 +131,18 @@ class Executor(typing.Protocol):
 
 
 class SerialExecutor:
-    """Runs every request in the calling process, in order."""
+    """Runs every request in the calling process, in order.
+
+    A run that raises is retried once and then reported as an error
+    outcome, matching :class:`ProcessExecutor`'s crash handling.  The
+    ``max_wall_s`` watchdog needs process isolation and is therefore
+    enforced only by :class:`ProcessExecutor`.
+    """
 
     jobs = 1
 
     def run_batch(self, requests: typing.Sequence[RunRequest]) -> list[RunOutcome]:
-        return [execute_request(request) for request in requests]
+        return [_execute_with_retry(request) for request in requests]
 
     def close(self) -> None:
         pass
@@ -109,6 +156,17 @@ class ProcessExecutor:
     reused for every batch, so each worker's frame-sequence cache keeps
     paying off across runs.  ``run_batch`` is thread-safe: concurrent
     searches may share one pool.
+
+    Failure containment (one run can never sink the sweep):
+
+    * a worker that raises gets one in-process retry; a second failure
+      becomes an error outcome;
+    * a broken pool (worker killed mid-run) is rebuilt, pending runs
+      are resubmitted, and the victim run is retried in-process;
+    * a run exceeding its ``max_wall_s`` watchdog has its pool recycled
+      (``shutdown(wait=False)``; a truly hung worker process is
+      orphaned rather than joined) and is resubmitted once with the
+      same budget before becoming an error outcome.
     """
 
     def __init__(self, jobs: int) -> None:
@@ -126,10 +184,75 @@ class ProcessExecutor:
                 )
             return self._pool
 
+    def _recycle_pool(self) -> None:
+        """Abandon the current pool (hung or broken) and start fresh."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
     def run_batch(self, requests: typing.Sequence[RunRequest]) -> list[RunOutcome]:
+        requests = list(requests)
         pool = self._ensure_pool()
         futures = [pool.submit(execute_request, request) for request in requests]
-        return [future.result() for future in futures]
+        return [
+            self._collect(futures, requests, index)
+            for index in range(len(requests))
+        ]
+
+    def _collect(
+        self,
+        futures: list[concurrent.futures.Future],
+        requests: list[RunRequest],
+        index: int,
+    ) -> RunOutcome:
+        request = requests[index]
+        try:
+            return futures[index].result(timeout=request.max_wall_s)
+        except concurrent.futures.TimeoutError:
+            # Watchdog expiry: the worker is presumed hung.  Recycle the
+            # pool, resubmit everything still pending, and give this run
+            # one more attempt under the same budget.
+            self._recycle_pool()
+            self._resubmit_pending(futures, requests, index)
+            try:
+                retry = self._ensure_pool().submit(execute_request, request)
+                return retry.result(timeout=request.max_wall_s)
+            except concurrent.futures.TimeoutError:
+                self._recycle_pool()
+                self._resubmit_pending(futures, requests, index)
+                return _error_outcome(
+                    request,
+                    TimeoutError(
+                        f"run exceeded max_wall_s={request.max_wall_s}s twice"
+                    ),
+                )
+            except Exception as exc:
+                return _error_outcome(request, exc)
+        except BrokenProcessPool:
+            # A worker died (OOM-kill, segfault): the pool is unusable.
+            self._recycle_pool()
+            self._resubmit_pending(futures, requests, index)
+            return _execute_with_retry(request)
+        except Exception:
+            # The run itself raised in the worker: one in-process retry,
+            # then an error outcome.
+            return _execute_with_retry(request)
+
+    def _resubmit_pending(
+        self,
+        futures: list[concurrent.futures.Future],
+        requests: list[RunRequest],
+        index: int,
+    ) -> None:
+        """Requeue later requests whose futures died with the old pool."""
+        pool = self._ensure_pool()
+        for later in range(index + 1, len(requests)):
+            future = futures[later]
+            if future.done() and future.exception() is None:
+                continue
+            future.cancel()
+            futures[later] = pool.submit(execute_request, requests[later])
 
     def close(self) -> None:
         with self._lock:
@@ -192,7 +315,9 @@ class Runner:
         if fresh:
             executed = self.executor.run_batch([request for _, request in fresh])
             for (index, request), outcome in zip(fresh, executed):
-                if self.cache is not None:
+                # Error outcomes are never cached: the next invocation
+                # should retry the run, not replay the failure.
+                if self.cache is not None and outcome.metrics is not None:
                     with self._cache_lock:
                         self.cache.store(request.config, outcome.metrics)
                 outcomes[index] = outcome
@@ -281,12 +406,26 @@ class SearchCell:
 def run_grid(
     cells: typing.Sequence[tuple[str, SpiffiConfig]],
     runner: Runner | None = None,
+    max_wall_s: float | None = None,
 ) -> list[RunMetrics]:
-    """Execute one simulation per (tag, config) cell, in cell order."""
+    """Execute one simulation per (tag, config) cell, in cell order.
+
+    Error outcomes (crashed or hung runs that survived their retries)
+    are collected and raised *after* the whole batch completes, so one
+    bad cell never discards its siblings' finished work.
+    """
     runner = runner or default_runner()
     outcomes = runner.run_batch(
-        [RunRequest(config, tag) for tag, config in cells]
+        [RunRequest(config, tag, max_wall_s=max_wall_s) for tag, config in cells]
     )
+    errors = [outcome for outcome in outcomes if outcome.failed]
+    if errors:
+        detail = "; ".join(
+            f"{outcome.tag or 'run'}: {outcome.error}" for outcome in errors[:5]
+        )
+        raise RuntimeError(
+            f"{len(errors)} of {len(outcomes)} grid runs failed: {detail}"
+        )
     return [outcome.metrics for outcome in outcomes]
 
 

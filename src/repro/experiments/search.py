@@ -234,7 +234,16 @@ def find_max_terminals(
         for terminals in batch:
             ok = True
             for seed in seeds:
-                metrics = next(outcomes).metrics
+                outcome = next(outcomes)
+                if outcome.failed:
+                    # A probe that errored (after the executor's retries)
+                    # cannot yield a verdict either way; aborting keeps the
+                    # search's determinism contract honest.
+                    raise RuntimeError(
+                        f"search probe {outcome.tag or terminals} failed: "
+                        f"{outcome.error}"
+                    )
+                metrics = outcome.metrics
                 probes.append(Probe(terminals, seed, metrics))
                 if metrics.glitches > 0:
                     ok = False

@@ -27,6 +27,7 @@ from repro.telemetry.trace import FAULT_END, FAULT_RETRY, FAULT_START
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.bus import NetworkBus
+    from repro.replication.health import HealthMonitor
     from repro.server.admission import AdmissionController
     from repro.storage.drive import DiskDrive
     from repro.telemetry.trace import TraceRecorder
@@ -118,6 +119,7 @@ class FaultInjector:
         drives: typing.Sequence["DiskDrive"],
         bus: "NetworkBus",
         admission: "AdmissionController",
+        health: "HealthMonitor | None" = None,
     ) -> None:
         self.env = env
         self.runtime = runtime
@@ -125,6 +127,9 @@ class FaultInjector:
         self.drives = list(drives)
         self.bus = bus
         self.admission = admission
+        #: Optional per-disk health model (replication configured); told
+        #: about every disk fault as it is applied and reverted.
+        self.health = health
         if self.schedule:
             env.process(self._run(), name="fault-injector")
 
@@ -155,6 +160,8 @@ class FaultInjector:
             self.bus.degrade(event.magnitude)
         else:
             raise ValueError(f"unknown fault kind {event.kind!r}")
+        if self.health is not None:
+            self.health.fault_applied(event)
         if shed:
             self.admission.begin_shed()
 
@@ -170,6 +177,8 @@ class FaultInjector:
             self.drives[event.target].end_outage()
         elif event.kind == NET_DEGRADE:
             self.bus.restore(event.magnitude)
+        if self.health is not None:
+            self.health.fault_reverted(event)
         if shed:
             self.admission.end_shed()
         runtime.fault_ended(event)

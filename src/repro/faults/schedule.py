@@ -73,6 +73,22 @@ def build_schedule(
             )
     if spec.network_fault_rate_per_hour > 0:
         events.extend(_network_events(spec, horizon_s, rng.spawn("network")))
+    # Explicit permanent failures: scripted, no randomness consumed.
+    for disk in spec.fail_disk_ids:
+        if disk >= disk_count:
+            raise ValueError(
+                f"fail_disk_ids names disk {disk}, but the system has only "
+                f"{disk_count} disks (valid: 0..{disk_count - 1})"
+            )
+        events.append(
+            FaultEvent(
+                start_s=spec.fail_at_s,
+                kind=DISK_FAIL,
+                target=disk,
+                duration_s=math.inf,
+                magnitude=0.0,
+            )
+        )
     events.sort(key=lambda event: (event.start_s, event.target, event.kind))
     return tuple(events)
 

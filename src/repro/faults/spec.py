@@ -73,6 +73,15 @@ class FaultSpec:
     mean_slow_duration_s: float = 20.0
     mean_outage_duration_s: float = 5.0
 
+    # --- explicit permanent failures -----------------------------------
+    #: Global disk indices that fail permanently at ``fail_at_s``,
+    #: independent of the random schedule — the deterministic scenario
+    #: knob availability experiments sweep.  Validated against the disk
+    #: count (and the replication factor's survivor requirement) at
+    #: config time.
+    fail_disk_ids: tuple[int, ...] = ()
+    fail_at_s: float = 0.0
+
     # --- network degradation schedule ----------------------------------
     network_fault_rate_per_hour: float = 0.0
     network_latency_multiplier: float = 8.0
@@ -139,6 +148,20 @@ class FaultSpec:
             raise ValueError(
                 f"attribution_grace_s must be >= 0, got {self.attribution_grace_s}"
             )
+        if not isinstance(self.fail_disk_ids, tuple):
+            object.__setattr__(self, "fail_disk_ids", tuple(self.fail_disk_ids))
+        for disk in self.fail_disk_ids:
+            if not isinstance(disk, int) or disk < 0:
+                raise ValueError(
+                    f"fail_disk_ids must be non-negative disk indices, "
+                    f"got {self.fail_disk_ids!r}"
+                )
+        if len(set(self.fail_disk_ids)) != len(self.fail_disk_ids):
+            raise ValueError(
+                f"fail_disk_ids contains duplicates: {self.fail_disk_ids!r}"
+            )
+        if self.fail_at_s < 0:
+            raise ValueError(f"fail_at_s must be >= 0, got {self.fail_at_s}")
 
     def _total_weight(self) -> float:
         return self.slow_weight + self.outage_weight + self.fail_weight
@@ -149,6 +172,7 @@ class FaultSpec:
         return (
             self.disk_fault_rate_per_hour > 0
             or self.network_fault_rate_per_hour > 0
+            or bool(self.fail_disk_ids)
         )
 
     def label(self) -> str:
@@ -160,4 +184,6 @@ class FaultSpec:
             parts.append(f"disk {self.disk_fault_rate_per_hour:g}/h")
         if self.network_fault_rate_per_hour > 0:
             parts.append(f"net {self.network_fault_rate_per_hour:g}/h")
+        if self.fail_disk_ids:
+            parts.append(f"fail {len(self.fail_disk_ids)} disk(s)")
         return "faults(" + ", ".join(parts) + ")"

@@ -54,3 +54,26 @@ class Layout:
     def split_disk_index(self, disk_global: int) -> typing.Tuple[int, int]:
         """Global disk index → (node, disk-in-node)."""
         return divmod(disk_global, self.disks_per_node)
+
+    # --- replication interface (single-copy defaults) -------------------
+    @property
+    def replica_count(self) -> int:
+        """Copies stored of every block (1 = unreplicated)."""
+        return 1
+
+    def replica_placements(self, video_id: int, block: int) -> typing.Tuple[Placement, ...]:
+        """Every copy of *block*, primary first.
+
+        Single-copy layouts return just :meth:`locate`; replicated
+        layouts (see :mod:`repro.replication.layouts`) add the replica
+        placements the failover router chooses between.
+        """
+        return (self.locate(video_id, block),)
+
+    def copies_on_disk(
+        self, disk_global: int
+    ) -> typing.Iterator[typing.Tuple[int, int, int]]:
+        """Block copies stored on one disk, as ``(video_id, block,
+        replica_index)`` tuples — what a rebuild must re-create.  Only
+        replicated layouts implement this."""
+        raise NotImplementedError

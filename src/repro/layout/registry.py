@@ -6,12 +6,19 @@ name selects a registered factory, and third-party layouts plug in via
 
     from repro.layout import LayoutSpec, register_layout
 
-    register_layout("mirrored", build_mirrored_layout)
-    config = SpiffiConfig(layout=LayoutSpec("mirrored"))
+    register_layout("my_layout", build_my_layout)
+    config = SpiffiConfig(layout=LayoutSpec("my_layout"))
 
 Factories receive everything system assembly knows about placement:
 per-video block counts, the hardware shape, the stripe block size, and
 a dedicated random stream (ignored by deterministic layouts).
+
+Layouts registered with ``replicated=True`` additionally receive the
+config's replication factor as a sixth argument and must implement the
+replica interface on :class:`~repro.layout.base.Layout`
+(``replica_placements`` / ``copies_on_disk``).  Selecting a
+single-copy layout with a replication factor above 1 is a config-time
+error.
 """
 
 from __future__ import annotations
@@ -26,24 +33,43 @@ from repro.layout.striped import StripedLayout
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.rng import RandomSource
 
-#: ``factory(block_counts, nodes, disks_per_node, block_size, rng)``.
-LayoutFactory = typing.Callable[
-    [list[int], int, int, int, "RandomSource"], Layout
-]
+#: ``factory(block_counts, nodes, disks_per_node, block_size, rng)``;
+#: replicated factories take a trailing ``replication_factor``.
+LayoutFactory = typing.Callable[..., Layout]
 
-_REGISTRY: dict[str, LayoutFactory] = {}
+_REGISTRY: dict[str, tuple[LayoutFactory, bool]] = {}
 
 
-def register_layout(name: str, factory: LayoutFactory) -> None:
-    """Make *name* selectable via ``LayoutSpec(name)``."""
+def register_layout(
+    name: str, factory: LayoutFactory, *, replicated: bool = False
+) -> None:
+    """Make *name* selectable via ``LayoutSpec(name)``.
+
+    With ``replicated=True`` the factory is called with an extra
+    ``replication_factor`` argument and may be combined with
+    ``ReplicationSpec(factor > 1)``.
+    """
     if not name or not isinstance(name, str):
         raise ValueError(f"layout name must be a non-empty string, got {name!r}")
-    _REGISTRY[name] = factory
+    _REGISTRY[name] = (factory, replicated)
 
 
 def layout_names() -> tuple[str, ...]:
     """Every currently registered layout name (registration order)."""
     return tuple(_REGISTRY)
+
+
+def replicated_layout_names() -> tuple[str, ...]:
+    """Layout names that support a replication factor above 1."""
+    return tuple(
+        name for name, (_, replicated) in _REGISTRY.items() if replicated
+    )
+
+
+def layout_supports_replication(name: str) -> bool:
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown layout {name!r}; choose from {layout_names()}")
+    return _REGISTRY[name][1]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,11 +91,22 @@ class LayoutSpec:
         disks_per_node: int,
         block_size: int,
         rng: "RandomSource",
+        replication_factor: int = 1,
     ) -> Layout:
         """A layout instance for one assembled system."""
-        return _REGISTRY[self.name](
-            block_counts, nodes, disks_per_node, block_size, rng
-        )
+        factory, replicated = _REGISTRY[self.name]
+        if replicated:
+            return factory(
+                block_counts, nodes, disks_per_node, block_size, rng,
+                replication_factor,
+            )
+        if replication_factor > 1:
+            raise ValueError(
+                f"layout {self.name!r} stores a single copy; a replication "
+                f"factor of {replication_factor} needs one of "
+                f"{replicated_layout_names()}"
+            )
+        return factory(block_counts, nodes, disks_per_node, block_size, rng)
 
     def label(self) -> str:
         return self.name.replace("_", "-")
@@ -87,3 +124,26 @@ register_layout(
         counts, nodes, disks, block_size, rng
     ),
 )
+
+
+def _build_mirrored(counts, nodes, disks, block_size, rng, factor):
+    from repro.replication.layouts import ReplicatedStripedLayout
+
+    disk_count = nodes * disks
+    if factor > 1 and disk_count % factor != 0:
+        raise ValueError(
+            f"mirrored striping needs the disk count ({disk_count}) to be "
+            f"divisible by the replication factor ({factor})"
+        )
+    step = disk_count // factor if factor > 1 else 1
+    return ReplicatedStripedLayout(counts, nodes, disks, block_size, factor, step)
+
+
+def _build_chained(counts, nodes, disks, block_size, rng, factor):
+    from repro.replication.layouts import ReplicatedStripedLayout
+
+    return ReplicatedStripedLayout(counts, nodes, disks, block_size, factor, 1)
+
+
+register_layout("mirrored", _build_mirrored, replicated=True)
+register_layout("chained", _build_chained, replicated=True)

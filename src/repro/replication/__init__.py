@@ -1,0 +1,32 @@
+"""Replication & recovery: replicated layouts, disk health, failover
+routing, and background rebuild (see DESIGN.md "Replication & recovery").
+
+The subsystem is inert by default: ``ReplicationSpec()`` has
+``factor=1``, no runtime objects are built, and runs are bit-identical
+to a build without the subsystem (the same contract the fault subsystem
+keeps, pinned by the golden test in ``tests/faults/test_injection.py``).
+"""
+
+from repro.replication.health import (
+    DOWN,
+    FAILED,
+    HEALTHY,
+    SUSPECT,
+    HealthMonitor,
+)
+from repro.replication.layouts import ReplicatedStripedLayout
+from repro.replication.rebuild import RebuildManager
+from repro.replication.runtime import ReplicationRuntime
+from repro.replication.spec import ReplicationSpec
+
+__all__ = [
+    "DOWN",
+    "FAILED",
+    "HEALTHY",
+    "SUSPECT",
+    "HealthMonitor",
+    "RebuildManager",
+    "ReplicatedStripedLayout",
+    "ReplicationRuntime",
+    "ReplicationSpec",
+]

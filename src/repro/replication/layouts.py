@@ -1,0 +1,130 @@
+"""Replicated striped layouts: mirrored striping and chained declustering.
+
+Both keep the primary copy *exactly* where :class:`StripedLayout` puts
+it — same disks, same byte offsets — and append the replica fragments
+after every disk's primary fragments.  With ``factor=1`` they are
+indistinguishable from plain striping, which is what lets the golden
+baseline test hold.
+
+Replica *r* of a block whose primary lives on global disk ``g`` is
+stored on disk ``(g + r·step) mod D``:
+
+* **mirrored** striping uses ``step = D / factor`` — the disk set splits
+  into ``factor`` equal groups and each group mirrors the next, the
+  classic mirrored-declustering arrangement;
+* **chained** declustering uses ``step = 1`` — each disk's fragments are
+  replicated on its successor (Hsiao & DeWitt), so after a failure the
+  surviving neighbour inherits the load and, because the read router
+  balances by queue length, part of that inherited load cascades further
+  down the chain.
+"""
+
+from __future__ import annotations
+
+from repro.layout.base import Placement
+from repro.layout.striped import StripedLayout
+
+
+class ReplicatedStripedLayout(StripedLayout):
+    """Striped primary copy plus ``factor - 1`` rotated replica copies."""
+
+    def __init__(
+        self,
+        video_block_counts: list[int],
+        nodes: int,
+        disks_per_node: int,
+        block_size: int,
+        replication_factor: int,
+        replica_step: int,
+    ) -> None:
+        super().__init__(video_block_counts, nodes, disks_per_node, block_size)
+        factor = int(replication_factor)
+        step = int(replica_step)
+        if factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {factor}")
+        if factor > self.disk_count:
+            raise ValueError(
+                f"replication factor {factor} exceeds the "
+                f"{self.disk_count} disks available"
+            )
+        if factor > 1:
+            offsets = {(r * step) % self.disk_count for r in range(factor)}
+            if len(offsets) != factor:
+                raise ValueError(
+                    f"replica step {step} maps copies of a block onto the "
+                    f"same disk with factor {factor} and {self.disk_count} disks"
+                )
+        self.replication_factor = factor
+        self.replica_step = step
+        # Replica fragments are appended after *all* primary fragments so
+        # primary byte offsets match StripedLayout exactly.
+        # _replica_base[v][r-1][g] = byte offset, on disk shift(g, r), of
+        # the replica-r copy of video v's fragment whose primary is on g.
+        self._replica_base: list[list[list[int]]] = []
+        disk_fill = list(self._disk_used)
+        row = self.disk_count
+        for count in self.video_block_counts:
+            full_rows, rem = divmod(count, row)
+            per_replica: list[list[int]] = []
+            for r in range(1, factor):
+                bases = [0] * row
+                for g in range(row):
+                    # Blocks land on disk g when block % D == slot(g)
+                    # (node-major rotation), so the fragment's true size
+                    # depends on the slot, not the global disk index.
+                    node, disk_in_node = self.split_disk_index(g)
+                    slot = disk_in_node * self.nodes + node
+                    fragment_bytes = (
+                        full_rows + (1 if slot < rem else 0)
+                    ) * block_size
+                    target = self.replica_disk(g, r)
+                    bases[g] = disk_fill[target]
+                    disk_fill[target] += fragment_bytes
+                per_replica.append(bases)
+            self._replica_base.append(per_replica)
+        self._disk_used = disk_fill
+
+    # ------------------------------------------------------------------
+    # Replica geometry
+    # ------------------------------------------------------------------
+    def replica_disk(self, primary_disk: int, replica_index: int) -> int:
+        """Global disk holding copy *replica_index* of a block whose
+        primary copy lives on *primary_disk* (index 0 = the primary)."""
+        return (primary_disk + replica_index * self.replica_step) % self.disk_count
+
+    @property
+    def replica_count(self) -> int:
+        return self.replication_factor
+
+    def replica_placements(self, video_id: int, block: int) -> tuple[Placement, ...]:
+        primary = self.locate(video_id, block)
+        if self.replication_factor == 1:
+            return (primary,)
+        placements = [primary]
+        source = primary.disk_global
+        row_index = block // self.disk_count
+        for r in range(1, self.replication_factor):
+            target = self.replica_disk(source, r)
+            node, disk_in_node = self.split_disk_index(target)
+            offset = (
+                self._replica_base[video_id][r - 1][source]
+                + row_index * self.block_size
+            )
+            placements.append(Placement(node, disk_in_node, target, offset))
+        return tuple(placements)
+
+    def copies_on_disk(self, disk_global: int):
+        """Every block copy stored on one disk, as ``(video_id, block,
+        replica_index)`` — what a rebuild must re-create when the disk
+        fails.  Deterministic order: by video, then replica index, then
+        block."""
+        nodes = self.nodes
+        for video_id, count in enumerate(self.video_block_counts):
+            for r in range(self.replication_factor):
+                source = (
+                    disk_global - r * self.replica_step
+                ) % self.disk_count
+                src_node, src_disk_in_node = self.split_disk_index(source)
+                slot = src_disk_in_node * nodes + src_node
+                for block in range(slot, count, self.disk_count):
+                    yield video_id, block, r

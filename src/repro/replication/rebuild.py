@@ -1,0 +1,174 @@
+"""Background rebuild of lost block copies after a permanent disk failure.
+
+When the health monitor reports a disk FAILED, the manager starts one
+rebuild process for that disk.  The process walks every block copy the
+dead disk held (``layout.copies_on_disk``), reads a surviving copy and
+re-writes it onto a deterministically chosen surviving disk — both as
+real requests through the disk model, so the rebuild competes with
+foreground streams for head time — and updates the runtime's replica
+directory so the router serves the relocated copy from then on.
+
+The process paces itself to ``rebuild_bandwidth_bytes_per_s`` of moved
+bytes (read + write combined) per failed disk, the knob that trades
+time-to-redundancy against foreground glitches.  Rebuild I/O is tagged
+``is_prefetch=True`` with no deadline, so deadline-aware schedulers
+treat it as background work; the drive model is read-only, so the write
+is modelled as a disk access of equal cost at the target offset.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.layout.base import Placement
+from repro.storage.request import NO_DEADLINE, DiskRequest
+from repro.telemetry.trace import REBUILD_BLOCK, REBUILD_END, REBUILD_START
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.media.library import VideoLibrary
+    from repro.replication.runtime import ReplicationRuntime
+    from repro.sim.environment import Environment
+
+#: ``terminal_id`` carried by rebuild disk requests.
+REBUILD_TERMINAL = -2
+
+
+class RebuildManager:
+    def __init__(
+        self,
+        env: "Environment",
+        runtime: "ReplicationRuntime",
+        library: "VideoLibrary",
+        block_size: int,
+    ) -> None:
+        self.env = env
+        self.runtime = runtime
+        self.library = library
+        self.block_size = block_size
+        #: Rebuild processes currently running.
+        self.active = 0
+        # Bytes re-written per target disk; spreads relocated copies.
+        self._placed_bytes = [0] * len(runtime.drives)
+        runtime.health.subscribe_failed(self._on_disk_failed)
+
+    def _on_disk_failed(self, disk: int) -> None:
+        if not self.runtime.spec.rebuild:
+            return
+        self.env.process(self._rebuild(disk), name=f"rebuild-{disk}")
+
+    # ------------------------------------------------------------------
+    # One disk's rebuild
+    # ------------------------------------------------------------------
+    def _rebuild(self, disk: int):
+        env = self.env
+        runtime = self.runtime
+        stats = runtime.stats
+        layout = runtime.layout
+        started = env.now
+        self.active += 1
+        runtime.record(REBUILD_START, disk=disk)
+        rate = runtime.spec.rebuild_bandwidth_bytes_per_s
+        moved = 0  # read + write bytes, paces the bandwidth cap
+        copied = 0
+        for video_id, block, replica_index in layout.copies_on_disk(disk):
+            placements = runtime.placements(video_id, block)
+            if placements[replica_index].disk_global != disk:
+                continue  # this copy was already relocated elsewhere
+            source = self._pick_source(placements, replica_index)
+            if source is None:
+                # Every copy is gone; reads of this block fall back to
+                # the failover penalty until the end of the run.
+                continue
+            size = self.library[video_id].schedule(self.block_size).block_bytes(block)
+            target_disk = self._pick_target(placements)
+            if target_disk is None:
+                continue  # no disk can legally hold another copy
+
+            src_drive = runtime.drives[source.disk_global]
+            read = DiskRequest(
+                env,
+                byte_offset=source.byte_offset,
+                size=size,
+                cylinder=src_drive.geometry.cylinder_of(source.byte_offset),
+                deadline=NO_DEADLINE,
+                is_prefetch=True,
+                terminal_id=REBUILD_TERMINAL,
+            )
+            src_drive.submit(read)
+            yield read.done
+            if read.failed:
+                continue  # source died mid-rebuild; copy is lost
+            stats.rebuild_reads += 1
+
+            tgt_drive = runtime.drives[target_disk]
+            offset = min(
+                source.byte_offset, max(0, tgt_drive.geometry.capacity_bytes - size)
+            )
+            write = DiskRequest(
+                env,
+                byte_offset=offset,
+                size=size,
+                cylinder=tgt_drive.geometry.cylinder_of(offset),
+                deadline=NO_DEADLINE,
+                is_prefetch=True,
+                terminal_id=REBUILD_TERMINAL,
+            )
+            tgt_drive.submit(write)
+            yield write.done
+            if write.failed:
+                continue
+
+            stats.rebuild_blocks += 1
+            stats.rebuild_bytes += 2 * size
+            self._placed_bytes[target_disk] += size
+            node, disk_in_node = layout.split_disk_index(target_disk)
+            runtime.set_override(
+                video_id,
+                block,
+                replica_index,
+                Placement(node, disk_in_node, target_disk, offset),
+            )
+            runtime.record(
+                REBUILD_BLOCK, disk=disk, video=video_id, block=block, target=target_disk
+            )
+            copied += 1
+            moved += 2 * size
+            due = started + moved / rate
+            if due > env.now:
+                yield env.timeout(due - env.now)
+        duration = env.now - started
+        stats.rebuilds_completed += 1
+        stats.rebuild_durations.record(duration)
+        self.active -= 1
+        runtime.record(REBUILD_END, disk=disk, blocks=copied, duration_s=duration)
+        return None
+
+    # ------------------------------------------------------------------
+    # Deterministic source/target selection
+    # ------------------------------------------------------------------
+    def _pick_source(
+        self, placements: typing.Sequence[Placement], lost_index: int
+    ) -> Placement | None:
+        """Healthiest surviving copy to read from (None if all lost)."""
+        candidates = [
+            placement
+            for index, placement in enumerate(placements)
+            if index != lost_index
+            and not self.runtime.drives[placement.disk_global].failed
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=self.runtime._route_key)
+
+    def _pick_target(self, placements: typing.Sequence[Placement]) -> int | None:
+        """Surviving disk to host the new copy: must not already hold a
+        copy of the block; least rebuilt-bytes first, then disk index."""
+        holding = {placement.disk_global for placement in placements}
+        candidates = [
+            disk
+            for disk, drive in enumerate(self.runtime.drives)
+            if not drive.failed and disk not in holding
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda disk: (self._placed_bytes[disk], disk))

@@ -1,0 +1,138 @@
+"""Shared replication state: the replica directory and read router.
+
+:class:`ReplicationRuntime` is the blackboard the server nodes, the
+terminal-facing router, and the rebuild manager all consult:
+
+* *placements* — the layout's static replica placements, overlaid with
+  the mutable directory of copies the rebuild manager has moved onto
+  surviving disks;
+* *routing* — which copy a read should go to.  The router keeps
+  **primary affinity**: as long as the primary copy's disk is healthy,
+  reads go there, preserving the sequential fragment access that the
+  drive read-ahead cache and the prefetcher depend on.  Only when the
+  primary's disk is suspect/down/failed does it re-route, to the copy
+  with the best (health rank, queue length, disk index) key — no
+  randomness, so routing is deterministic;
+* *stats* — resettable failover/rebuild counters for metrics.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.stats import Tally
+from repro.telemetry.trace import FAILOVER_READ
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.layout.base import Layout, Placement
+    from repro.replication.health import HealthMonitor
+    from repro.replication.spec import ReplicationSpec
+    from repro.sim.environment import Environment
+    from repro.storage.drive import DiskDrive
+    from repro.telemetry.trace import TraceRecorder
+
+
+class ReplicationStats:
+    """Resettable replication accounting for the measurement window."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.failover_reads = 0
+        self.remote_replica_reads = 0
+        self.rebuild_reads = 0
+        self.rebuild_blocks = 0
+        self.rebuild_bytes = 0
+        self.rebuilds_completed = 0
+        self.rebuild_durations = Tally()
+
+
+class ReplicationRuntime:
+    def __init__(
+        self,
+        env: "Environment",
+        spec: "ReplicationSpec",
+        layout: "Layout",
+        drives: typing.Sequence["DiskDrive"],
+        health: "HealthMonitor",
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.layout = layout
+        #: All drives in the fabric, indexed by global disk id.
+        self.drives = list(drives)
+        self.health = health
+        self.stats = ReplicationStats()
+        #: Optional :class:`~repro.telemetry.trace.TraceRecorder`.
+        self.trace: "TraceRecorder | None" = None
+        # Directory overlay: copies the rebuild manager relocated, keyed
+        # by (video_id, block, replica_index).  Physical state, so it
+        # survives stats resets.
+        self._overrides: dict[tuple[int, int, int], "Placement"] = {}
+
+    # ------------------------------------------------------------------
+    # Replica directory
+    # ------------------------------------------------------------------
+    def placements(self, video_id: int, block: int) -> tuple["Placement", ...]:
+        """Every copy of a block, rebuild relocations applied."""
+        base = self.layout.replica_placements(video_id, block)
+        if not self._overrides:
+            return base
+        return tuple(
+            self._overrides.get((video_id, block, index), placement)
+            for index, placement in enumerate(base)
+        )
+
+    def set_override(
+        self, video_id: int, block: int, replica_index: int, placement: "Placement"
+    ) -> None:
+        self._overrides[(video_id, block, replica_index)] = placement
+
+    @property
+    def relocated_copies(self) -> int:
+        return len(self._overrides)
+
+    # ------------------------------------------------------------------
+    # Read routing
+    # ------------------------------------------------------------------
+    def _route_key(self, placement: "Placement") -> tuple[int, int, int]:
+        disk = placement.disk_global
+        return (self.health.rank(disk), len(self.drives[disk].scheduler), disk)
+
+    def route(self, video_id: int, block: int) -> "Placement":
+        """The copy a fresh read should target (primary affinity)."""
+        placements = self.placements(video_id, block)
+        primary = placements[0]
+        if self.health.rank(primary.disk_global) == 0:
+            return primary
+        return min(placements, key=self._route_key)
+
+    def read_candidates(
+        self, video_id: int, block: int, first: "Placement"
+    ) -> list["Placement"]:
+        """Failover order for one read: the already-routed copy, then
+        every other copy from healthiest/least-loaded down."""
+        rest = [
+            placement
+            for placement in self.placements(video_id, block)
+            if placement.disk_global != first.disk_global
+        ]
+        rest.sort(key=self._route_key)
+        return [first, *rest]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def note_failover(self, terminal_id: int, from_disk: int, to_disk: int) -> None:
+        self.stats.failover_reads += 1
+        self.record(
+            FAILOVER_READ, terminal=terminal_id, from_disk=from_disk, to_disk=to_disk
+        )
+
+    def record(self, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(kind, **fields)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -27,6 +27,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.layout.base import Layout
     from repro.media.library import VideoLibrary
     from repro.netsim.bus import NetworkBus
+    from repro.replication.runtime import ReplicationRuntime
 
 
 class NodeStats:
@@ -69,6 +70,9 @@ class VideoServerNode:
         self.prefetch_spec = prefetch_spec
         self.prefetchers = prefetchers
         self.faults = faults
+        #: Set by system assembly when the config replicates blocks;
+        #: None keeps the single-copy read path bit-identical.
+        self.replication: "ReplicationRuntime | None" = None
         self.stats = NodeStats()
 
     # ------------------------------------------------------------------
@@ -123,25 +127,30 @@ class VideoServerNode:
         if status == MISS:
             self.stats.disk_reads += 1
             yield from self.cpu.execute(costs.start_io)
-            drive = self.drives[placement.disk_in_node]
-            if self.faults is None:
-                request = DiskRequest(
-                    env,
-                    byte_offset=placement.byte_offset,
-                    size=size,
-                    cylinder=drive.geometry.cylinder_of(placement.byte_offset),
-                    deadline=disk_deadline,
-                    is_prefetch=False,
-                    terminal_id=terminal_id,
+            if self.replication is not None:
+                yield from self._read_replicated(
+                    page, video_id, block, placement, size, disk_deadline, terminal_id
                 )
-                request.tighten_deadline(page.deadline_hint)
-                page.disk_request = request
-                drive.submit(request)
-                yield request.done
             else:
-                yield from self._read_degraded(
-                    page, placement, size, disk_deadline, terminal_id, drive
-                )
+                drive = self.drives[placement.disk_in_node]
+                if self.faults is None:
+                    request = DiskRequest(
+                        env,
+                        byte_offset=placement.byte_offset,
+                        size=size,
+                        cylinder=drive.geometry.cylinder_of(placement.byte_offset),
+                        deadline=disk_deadline,
+                        is_prefetch=False,
+                        terminal_id=terminal_id,
+                    )
+                    request.tighten_deadline(page.deadline_hint)
+                    page.disk_request = request
+                    drive.submit(request)
+                    yield request.done
+                else:
+                    yield from self._read_degraded(
+                        page, placement, size, disk_deadline, terminal_id, drive
+                    )
             self.pool.finish_io(page)
         elif status == INFLIGHT:
             # Merge onto the in-flight (usually prefetch) read, lending
@@ -205,6 +214,89 @@ class VideoServerNode:
         return None
 
     # ------------------------------------------------------------------
+    # Replica-aware MISS read (replication configured)
+    # ------------------------------------------------------------------
+    def _read_replicated(
+        self, page, video_id, block, placement, size, disk_deadline, terminal_id
+    ):
+        """MISS-path disk read that fails over across replicas.
+
+        The routed copy (usually the primary) is tried first with the
+        full retry budget; on exhaustion — or when its drive is known
+        dead — the read moves to the next surviving copy instead of
+        sleeping ``failover_penalty_s``.  Only when *every* copy is
+        unreachable does the abstract penalty remain, as error
+        concealment of last resort.  A copy on another node's disk is
+        read directly from that drive and shipped over the bus — one
+        extra hop, accounted as ``remote_replica_reads``.
+        """
+        env = self.env
+        runtime = self.replication
+        spec = self.faults.spec if self.faults is not None else None
+        primary_disk = runtime.placements(video_id, block)[0].disk_global
+        candidates = runtime.read_candidates(video_id, block, first=placement)
+        for candidate in candidates:
+            drive = runtime.drives[candidate.disk_global]
+            if drive.failed:
+                continue  # known dead: skip without burning a timeout
+            served = yield from self._attempt_read(
+                page, candidate, size, disk_deadline, terminal_id, drive, spec
+            )
+            if served:
+                if candidate.disk_global != primary_disk:
+                    # Served from a replica — whether routed away up
+                    # front or failed over mid-read.
+                    runtime.note_failover(
+                        terminal_id, primary_disk, candidate.disk_global
+                    )
+                if candidate.node != self.node_id:
+                    # Ship the block from the remote node to this one.
+                    runtime.stats.remote_replica_reads += 1
+                    yield from self.bus.transfer(size)
+                return None
+        # Every copy is dead or timed out: error concealment fallback.
+        if self.faults is not None:
+            self.faults.note_abandoned(placement.disk_global, terminal_id)
+            if spec.failover_penalty_s > 0:
+                yield env.timeout(spec.failover_penalty_s)
+        return None
+
+    def _attempt_read(
+        self, page, placement, size, disk_deadline, terminal_id, drive, spec
+    ):
+        """One candidate copy: dispatch with timeout/retry; True if read."""
+        env = self.env
+        attempt = 0
+        while True:
+            request = DiskRequest(
+                env,
+                byte_offset=placement.byte_offset,
+                size=size,
+                cylinder=drive.geometry.cylinder_of(placement.byte_offset),
+                deadline=disk_deadline,
+                is_prefetch=False,
+                terminal_id=terminal_id,
+            )
+            request.tighten_deadline(page.deadline_hint)
+            page.disk_request = request
+            drive.submit(request)
+            if spec is None:
+                yield request.done
+                return not request.failed
+            yield env.any_of([request.done, env.timeout(spec.request_timeout_s)])
+            if request.done.triggered:
+                if not request.failed:
+                    return True
+                self.faults.note_failed_read(drive.disk_id, terminal_id)
+                return False
+            request.cancel()
+            self.replication.health.note_timeout(drive.disk_id)
+            attempt += 1
+            if attempt > spec.max_retries:
+                return False
+            self.faults.note_retry(drive.disk_id, terminal_id, attempt)
+
+    # ------------------------------------------------------------------
     # Prefetch triggering (§5.2.3)
     # ------------------------------------------------------------------
     def _trigger_prefetch(self, video_id: int, block: int, base_deadline: float) -> None:
@@ -225,6 +317,15 @@ class VideoServerNode:
             if next_block is None:
                 return
             placement = self.layout.locate(video_id, next_block)
+            if (
+                self.replication is not None
+                and self.replication.health.rank(placement.disk_global) > 0
+            ):
+                # Primary disk impaired: prefetch where reads will be
+                # routed; a copy on another node is that node's problem.
+                placement = self.replication.route(video_id, next_block)
+                if placement.node != self.node_id:
+                    return
             if self.prefetch_spec.uses_deadlines and base_deadline != NO_DEADLINE:
                 frames_ahead = int(schedule.first_frame[next_block]) - int(
                     schedule.first_frame[block]

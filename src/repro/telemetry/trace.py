@@ -19,6 +19,13 @@ FAULT_START = "fault.start"
 FAULT_END = "fault.end"
 FAULT_RETRY = "fault.retry"
 
+#: Event kinds emitted by the replication & recovery subsystem.
+FAILOVER_READ = "failover.read"
+HEALTH_CHANGE = "health.change"
+REBUILD_START = "rebuild.start"
+REBUILD_BLOCK = "rebuild.block"
+REBUILD_END = "rebuild.end"
+
 
 class TraceEvent(typing.NamedTuple):
     time: float

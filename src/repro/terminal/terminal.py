@@ -338,7 +338,13 @@ class Terminal:
         video_id = self._video.video_id
         size = self._schedule.block_bytes(block)
         deadline = self._request_deadline(block)
-        placement = fabric.layout.locate(video_id, block)
+        # Replica-aware fabrics expose locate_block (routes to the
+        # healthiest copy); plain fabrics fall back to the layout.
+        locate = getattr(fabric, "locate_block", None)
+        if locate is not None:
+            placement = locate(video_id, block)
+        else:
+            placement = fabric.layout.locate(video_id, block)
         sent_at = env.now
         # Control message: terminal → node.
         yield from fabric.bus.transfer(fabric.control_message_bytes)

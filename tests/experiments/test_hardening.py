@@ -1,0 +1,135 @@
+"""Failure containment in the experiment engine.
+
+One crashed, hung, or poisoned run must never sink its batch: it is
+retried once and then surfaced as an error :class:`RunOutcome`, and the
+sweep drivers report the casualties only after the survivors finish.
+"""
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.core.config import MB, SpiffiConfig
+from repro.experiments.results import RunCache
+from repro.experiments.runner import (
+    ProcessExecutor,
+    Runner,
+    RunRequest,
+    SerialExecutor,
+    run_grid,
+)
+from repro.experiments.search import find_max_terminals
+
+from tests.experiments.test_runner import example_metrics, tiny_config
+
+#: A request whose "config" explodes inside any worker: the frozen
+#: dataclass is only validated at construction, so a bogus payload
+#: rides through pickling and crashes ``run_simulation``.
+POISON = RunRequest(config="not a config", tag="poison")
+
+
+class TestSerialExecutorContainment:
+    def test_crash_becomes_error_outcome(self):
+        outcome = SerialExecutor().run_batch([POISON])[0]
+        assert outcome.failed
+        assert outcome.metrics is None
+        assert outcome.tag == "poison"
+        assert "AttributeError" in outcome.error
+
+    def test_crash_keeps_siblings(self):
+        outcomes = SerialExecutor().run_batch(
+            [RunRequest(tiny_config(), tag="good"), POISON]
+        )
+        assert not outcomes[0].failed
+        assert outcomes[0].metrics.terminals == 4
+        assert outcomes[1].failed
+
+    def test_flaky_run_succeeds_on_the_single_retry(self, monkeypatch):
+        attempts = []
+
+        def flaky(config):
+            attempts.append(config)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return example_metrics()
+
+        monkeypatch.setattr(runner_module, "run_simulation", flaky)
+        outcome = SerialExecutor().run_batch([RunRequest(tiny_config())])[0]
+        assert not outcome.failed
+        assert len(attempts) == 2
+
+    def test_persistent_failure_stops_after_one_retry(self, monkeypatch):
+        attempts = []
+
+        def broken(config):
+            attempts.append(config)
+            raise RuntimeError("still broken")
+
+        monkeypatch.setattr(runner_module, "run_simulation", broken)
+        outcome = SerialExecutor().run_batch([RunRequest(tiny_config())])[0]
+        assert outcome.failed
+        assert "still broken" in outcome.error
+        assert len(attempts) == 2
+
+
+class TestProcessExecutorContainment:
+    def test_worker_crash_becomes_error_outcome(self):
+        with ProcessExecutor(jobs=2) as executor:
+            outcomes = executor.run_batch(
+                [RunRequest(tiny_config(), tag="good"), POISON]
+            )
+        assert not outcomes[0].failed
+        assert outcomes[1].failed
+        assert outcomes[1].metrics is None
+
+    def test_watchdog_expiry_becomes_error_outcome(self):
+        """A run that cannot finish inside ``max_wall_s`` is killed off
+        (pool recycled) and reported, not waited on forever."""
+        request = RunRequest(tiny_config(), tag="hung", max_wall_s=0.001)
+        with ProcessExecutor(jobs=1) as executor:
+            outcome = executor.run_batch([request])[0]
+        assert outcome.failed
+        assert "max_wall_s" in outcome.error
+
+    def test_pool_survives_the_watchdog_for_later_requests(self):
+        with ProcessExecutor(jobs=1) as executor:
+            hung = executor.run_batch(
+                [RunRequest(tiny_config(), max_wall_s=0.001)]
+            )[0]
+            healthy = executor.run_batch([RunRequest(tiny_config())])[0]
+        assert hung.failed
+        assert not healthy.failed
+        assert healthy.metrics.terminals == 4
+
+
+class TestRunnerAndDrivers:
+    def test_error_outcomes_are_never_cached(self, tmp_path, monkeypatch):
+        def broken(config):
+            raise RuntimeError("doomed")
+
+        monkeypatch.setattr(runner_module, "run_simulation", broken)
+        config = tiny_config()
+        cache = RunCache(str(tmp_path / "cache"))
+        runner = Runner(SerialExecutor(), cache=cache)
+        outcome = runner.run(RunRequest(config))
+        assert outcome.failed
+        assert cache.load(config) is None  # nothing stored
+        # Rerunning the config actually reruns it — no replayed failure.
+        assert runner.run(RunRequest(config)).cached is False
+
+    def test_run_grid_raises_after_finishing_the_batch(self):
+        with pytest.raises(RuntimeError, match="poison"):
+            run_grid(
+                [("good", tiny_config()), ("poison", "not a config")],
+                runner=Runner(SerialExecutor()),
+            )
+
+    def test_search_surfaces_probe_errors(self, monkeypatch):
+        def broken(config):
+            raise RuntimeError("probe exploded")
+
+        monkeypatch.setattr(runner_module, "run_simulation", broken)
+        with pytest.raises(RuntimeError, match="probe exploded"):
+            find_max_terminals(
+                tiny_config(), hint=4, granularity=2, low=2, high=8,
+                runner=Runner(SerialExecutor()),
+            )
