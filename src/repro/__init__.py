@@ -17,10 +17,12 @@ from repro.layout.registry import LayoutSpec
 from repro.prefetch import PrefetchSpec
 from repro.sched import SchedulerSpec
 from repro.terminal import PauseModel
+from repro.workload.spec import ArrivalSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrivalSpec",
     "FaultSpec",
     "GB",
     "KB",

@@ -47,11 +47,25 @@ from repro.media.access import access_model_names, register_access_model
 from repro.prefetch.spec import PrefetchSpec
 from repro.replication import ReplicationSpec
 from repro.sched.registry import SchedulerSpec, register_scheduler, scheduler_names
-from repro.server.admission import AdmissionSpec
+from repro.server.admission import (
+    AdmissionSpec,
+    admission_policy_names,
+    register_admission_policy,
+)
+from repro.sim.stats import Quantile
 from repro.terminal.pauses import PauseModel
+from repro.workload import (
+    ArrivalSpec,
+    SaturationResult,
+    SloPolicy,
+    arrival_process_names,
+    find_max_rate,
+    register_arrival_process,
+)
 
 __all__ = [
     "AdmissionSpec",
+    "ArrivalSpec",
     "ExperimentResult",
     "FaultEvent",
     "FaultSpec",
@@ -62,23 +76,31 @@ __all__ = [
     "PauseModel",
     "PrefetchSpec",
     "ProcessExecutor",
+    "Quantile",
     "ReplacementSpec",
     "ReplicationSpec",
     "RunCache",
     "RunMetrics",
     "Runner",
+    "SaturationResult",
     "SchedulerSpec",
     "SearchResult",
     "SerialExecutor",
+    "SloPolicy",
     "SpiffiConfig",
     "SpiffiSystem",
     "access_model_names",
+    "admission_policy_names",
+    "arrival_process_names",
     "build_schedule",
     "config_digest",
     "experiment_names",
+    "find_max_rate",
     "find_max_terminals",
     "layout_names",
     "register_access_model",
+    "register_admission_policy",
+    "register_arrival_process",
     "register_layout",
     "register_replacement",
     "register_scheduler",

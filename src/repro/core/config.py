@@ -27,6 +27,7 @@ from repro.sched.registry import SchedulerSpec
 from repro.server.admission import AdmissionSpec
 from repro.storage.drive import DriveParameters
 from repro.terminal.pauses import PauseModel
+from repro.workload.spec import ArrivalSpec
 
 KB = 1024
 MB = 1024 * 1024
@@ -73,7 +74,16 @@ class SpiffiConfig:
     zipf_skew: float = 1.0
     pause_model: PauseModel = dataclasses.field(default_factory=PauseModel)
     piggyback_window_s: float = 0.0
-    admission: AdmissionSpec = dataclasses.field(default_factory=AdmissionSpec)
+    #: Accepts an :class:`~repro.server.admission.AdmissionSpec`; plain
+    #: policy-name strings still coerce, with a DeprecationWarning.
+    admission: AdmissionSpec | str = dataclasses.field(default_factory=AdmissionSpec)
+    #: Open-system workload.  Closed (the paper's fixed terminal
+    #: population) by default: no session generator is built, and runs
+    #: are bit-identical to a build without the workload subsystem
+    #: (see :mod:`repro.workload`).  With an arrival process named,
+    #: ``terminals`` is ignored and sessions arrive, queue, and churn
+    #: according to the spec.
+    workload: ArrivalSpec = dataclasses.field(default_factory=ArrivalSpec)
 
     # --- algorithms -------------------------------------------------------
     stripe_bytes: int = 512 * KB
@@ -143,6 +153,23 @@ class SpiffiConfig:
             raise TypeError(
                 f"replacement_policy must be a ReplacementSpec or name string, "
                 f"got {self.replacement_policy!r}"
+            )
+        if isinstance(self.admission, str):
+            warnings.warn(
+                "passing admission as a string is deprecated; "
+                "use AdmissionSpec(policy) from repro.server.admission",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "admission", AdmissionSpec(self.admission))
+        elif not isinstance(self.admission, AdmissionSpec):
+            raise TypeError(
+                f"admission must be an AdmissionSpec or policy name string, "
+                f"got {self.admission!r}"
+            )
+        if not isinstance(self.workload, ArrivalSpec):
+            raise TypeError(
+                f"workload must be an ArrivalSpec, got {self.workload!r}"
             )
         if not isinstance(self.faults, FaultSpec):
             raise TypeError(f"faults must be a FaultSpec, got {self.faults!r}")

@@ -61,6 +61,24 @@ class RunMetrics:
     fault_retries: int = 0
     fault_abandoned_reads: int = 0
     fault_failed_reads: int = 0
+    # Open-system workload & QoS (sessions all zero unless an arrival
+    # process is configured; startup percentiles cover whichever
+    # playback starts fell inside the window, open or closed; defaulted
+    # for the same cached-metrics compatibility reason).
+    offered_sessions: int = 0
+    admitted_sessions: int = 0
+    balked_sessions: int = 0
+    reneged_sessions: int = 0
+    completed_sessions: int = 0
+    abandoned_sessions: int = 0
+    arrival_rate_per_s: float = 0.0
+    startup_p50_s: float = 0.0
+    startup_p95_s: float = 0.0
+    startup_p99_s: float = 0.0
+    startup_slo_attainment: float = 0.0
+    admission_max_wait_s: float = 0.0
+    admission_queue_len_mean: float = 0.0
+    admission_queue_len_max: float = 0.0
     # Replication & recovery (all zero unless replication_factor > 1;
     # defaulted for the same cached-metrics compatibility reason).
     failover_reads: int = 0
@@ -91,6 +109,20 @@ class RunMetrics:
     def network_peak_mbytes_per_s(self) -> float:
         return self.network_peak_bytes_per_s / MB
 
+    @property
+    def rejected_sessions(self) -> int:
+        """Denied demand: arrivals that balked or reneged."""
+        return self.balked_sessions + self.reneged_sessions
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected fraction of offered sessions (0.0 with no arrivals)."""
+        return (
+            self.rejected_sessions / self.offered_sessions
+            if self.offered_sessions
+            else 0.0
+        )
+
     def deterministic_dict(self) -> dict:
         """All fields except host-dependent wall time, for comparing
         runs across executors, job counts, and submission orders."""
@@ -112,6 +144,12 @@ class RunMetrics:
                 f" fault_glitches={self.fault_glitches}"
                 f" retries={self.fault_retries}"
             )
+        if self.offered_sessions:
+            text += (
+                f" sessions={self.admitted_sessions}/{self.offered_sessions}"
+                f" rejected={self.rejection_rate:.2%}"
+                f" p99_startup={self.startup_p99_s:.2f}s"
+            )
         if self.failover_reads or self.rebuilds_completed:
             text += (
                 f" failovers={self.failover_reads}"
@@ -125,6 +163,9 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
     terminals = system.terminals
     replication = getattr(system, "replication", None)
     repl_stats = replication.stats if replication is not None else None
+    workload = getattr(system, "workload", None)
+    sessions = workload.stats if workload is not None else None
+    qos = getattr(system, "qos", None)
     pools = [node.pool for node in system.nodes]
     drives = [drive for node in system.nodes for drive in node.drives]
     prefetchers = [p for node in system.nodes for p in node.prefetchers]
@@ -200,6 +241,20 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
         fault_failed_reads=(
             system.faults.stats.failed_reads if system.faults else 0
         ),
+        offered_sessions=sessions.offered if sessions else 0,
+        admitted_sessions=sessions.admitted if sessions else 0,
+        balked_sessions=sessions.balked if sessions else 0,
+        reneged_sessions=sessions.reneged if sessions else 0,
+        completed_sessions=sessions.completed if sessions else 0,
+        abandoned_sessions=sessions.abandoned if sessions else 0,
+        arrival_rate_per_s=(sessions.offered / measure_s if sessions else 0.0),
+        startup_p50_s=qos.startup_quantile(0.5) if qos else 0.0,
+        startup_p95_s=qos.startup_quantile(0.95) if qos else 0.0,
+        startup_p99_s=qos.startup_quantile(0.99) if qos else 0.0,
+        startup_slo_attainment=qos.slo_attainment if qos else 0.0,
+        admission_max_wait_s=system.admission.max_wait_s,
+        admission_queue_len_mean=system.admission.queue_lengths.mean(now),
+        admission_queue_len_max=system.admission.queue_lengths.maximum,
         failover_reads=repl_stats.failover_reads if repl_stats else 0,
         remote_replica_reads=(
             repl_stats.remote_replica_reads if repl_stats else 0

@@ -29,6 +29,8 @@ from repro.sim.rng import RandomSource
 from repro.storage.drive import DiskDrive
 from repro.storage.geometry import DiskGeometry
 from repro.terminal.terminal import Terminal
+from repro.workload.generator import SessionGenerator
+from repro.workload.qos import QosMonitor
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.trace import TraceRecorder
@@ -204,22 +206,36 @@ class SpiffiSystem:
                 ),
             )
 
-        access = make_access_model(
+        self.access = make_access_model(
             config.access_model, config.video_count, config.zipf_skew
         ).bind(rng.spawn("access"))
-        self.terminals = [
-            Terminal(
-                env=self.env,
-                terminal_id=terminal_id,
-                fabric=self,
-                access=access,
-                rng=rng.spawn(f"terminal-{terminal_id}"),
-                memory_bytes=config.terminal_memory_bytes,
-                pause_model=config.pause_model,
-                initial_position_fraction=config.initial_position_fraction,
+        self.qos = QosMonitor(config.workload.startup_slo_s)
+
+        # Open-system workload: a session generator replaces the fixed
+        # terminal population.  Closed (the default) builds the paper's
+        # looping terminals and spawns no workload streams at all.
+        self.workload: SessionGenerator | None = None
+        if config.workload.enabled:
+            self.terminals: list[Terminal] = []
+            self.workload = SessionGenerator(
+                self.env, self, config.workload, rng.spawn("workload")
             )
-            for terminal_id in range(config.terminals)
-        ]
+        else:
+            self.terminals = [
+                Terminal(
+                    env=self.env,
+                    terminal_id=terminal_id,
+                    fabric=self,
+                    access=self.access,
+                    rng=rng.spawn(f"terminal-{terminal_id}"),
+                    memory_bytes=config.terminal_memory_bytes,
+                    pause_model=config.pause_model,
+                    initial_position_fraction=config.initial_position_fraction,
+                )
+                for terminal_id in range(config.terminals)
+            ]
+            for terminal in self.terminals:
+                terminal.qos = self.qos
         self._started = False
 
     # ------------------------------------------------------------------
@@ -248,6 +264,12 @@ class SpiffiSystem:
         """Whether a glitch starting now should be blamed on a fault."""
         return self.faults is not None and self.faults.attributable()
 
+    def adopt_terminal(self, terminal: Terminal) -> None:
+        """Register a session-spawned terminal with the system so its
+        statistics are collected and reset with everything else."""
+        terminal.qos = self.qos
+        self.terminals.append(terminal)
+
     def enable_fault_tracing(self, capacity: int = 100_000) -> "TraceRecorder":
         """Attach a trace recorder to the fault runtime (faults must be
         configured); returns the recorder for inspection after the run."""
@@ -262,14 +284,30 @@ class SpiffiSystem:
             self.replication.health.trace = recorder
         return recorder
 
+    def enable_session_tracing(self, capacity: int = 100_000) -> "TraceRecorder":
+        """Attach a trace recorder to the session generator (an open
+        workload must be configured); returns the recorder for
+        inspection after the run."""
+        if self.workload is None:
+            raise ValueError("closed workload; no sessions to trace")
+        from repro.telemetry.trace import TraceRecorder
+
+        recorder = TraceRecorder(self.env, capacity=capacity)
+        self.workload.trace = recorder
+        return recorder
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Launch every terminal at a random instant in the start spread."""
+        """Launch the workload: the arrival process (open system) or
+        every terminal at a random instant in the start spread (closed)."""
         if self._started:
             raise RuntimeError("system already started")
         self._started = True
+        if self.workload is not None:
+            self.workload.start()
+            return
         start_rng = self._rng.spawn("starts")
         for terminal in self.terminals:
             terminal.start(start_rng.uniform(0.0, self.config.start_spread_s))
@@ -298,6 +336,9 @@ class SpiffiSystem:
         self.bus.reset_stats()
         self.piggyback.reset_stats()
         self.admission.reset_stats()
+        self.qos.reset()
+        if self.workload is not None:
+            self.workload.reset_stats()
         if self.faults is not None:
             self.faults.reset_stats()
         if self.replication is not None:

@@ -13,6 +13,7 @@ from repro.experiments import figures, tables
 from repro.experiments.availability import availability
 from repro.experiments.faultsweep import faultsweep
 from repro.experiments.results import ExperimentResult
+from repro.experiments.saturation import saturation
 
 EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "fig08": figures.fig08_zipf,
@@ -32,6 +33,7 @@ EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "sec82": figures.sec82_piggyback,
     "faultsweep": faultsweep,
     "availability": availability,
+    "saturation": saturation,
 }
 
 

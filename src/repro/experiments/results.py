@@ -27,6 +27,7 @@ from repro.core.metrics import RunMetrics
 from repro.experiments.report import format_table, results_dir
 from repro.faults.spec import FaultSpec
 from repro.replication.spec import ReplicationSpec
+from repro.workload.spec import ArrivalSpec
 
 #: Bump when the meaning of cached entries changes (config or metrics
 #: schema, simulator semantics) to invalidate every existing entry.
@@ -105,6 +106,8 @@ def config_to_dict(config: SpiffiConfig) -> dict:
         del data["faults"]
     if config.replication == ReplicationSpec():
         del data["replication"]
+    if config.workload == ArrivalSpec():
+        del data["workload"]
     return data
 
 

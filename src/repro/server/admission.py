@@ -2,7 +2,9 @@
 
 "The risk of glitches can be made arbitrarily low by limiting the
 maximum number of terminals as much as is desired."  This module makes
-that limiting an explicit, pluggable server component:
+that limiting an explicit, pluggable server component.  Policies are
+registry-backed (mirroring :class:`repro.layout.registry.LayoutSpec`):
+the built-ins are
 
 * ``none`` — admit everyone (the paper's measurement configuration;
   the experimenter controls load by choosing the terminal count);
@@ -10,9 +12,21 @@ that limiting an explicit, pluggable server component:
 * ``bandwidth`` — reserve each stream's bit rate against a headroom
   fraction of the server's aggregate disk transfer bandwidth;
 * ``analytic`` — cap at the elevator-scan analytical capacity bound
-  (see :mod:`repro.analytic`), the classical conservative design.
+  (see :mod:`repro.analytic`), the classical conservative design;
 
-Denied terminals queue FIFO and are admitted as streams finish.
+and third-party policies plug in via :func:`register_admission_policy`
+without touching the assembly code in ``repro.core.system``::
+
+    from repro.server.admission import AdmissionSpec, register_admission_policy
+
+    register_admission_policy("ten", lambda spec, *context: 10)
+    config = SpiffiConfig(admission=AdmissionSpec("ten"))
+
+Denied terminals queue FIFO and are admitted as streams finish.  The
+open-system workload layer (:mod:`repro.workload`) additionally bounds
+this queue and lets queued customers *renege* — both built on the
+:meth:`AdmissionController.would_queue` / :meth:`~AdmissionController.cancel`
+hooks below.
 """
 
 from __future__ import annotations
@@ -24,12 +38,41 @@ from collections import deque
 from repro.analytic.capacity import StreamParameters, estimate_capacity
 from repro.sim.environment import Environment
 from repro.sim.events import Event
-from repro.sim.stats import Tally
+from repro.sim.stats import Tally, TimeWeighted
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.storage.drive import DriveParameters
 
+#: Built-in policy names.  Retained for backward compatibility; the
+#: authoritative list lives in the registry and grows as plugins
+#: register (see :func:`admission_policy_names`).
 ADMISSION_POLICIES = ("none", "fixed", "bandwidth", "analytic")
+
+#: ``limit(spec, disks, drive, stream, disk_capacity_bytes) -> int | None``
+#: — the concurrent-stream cap a policy imposes (None = unlimited).
+AdmissionPolicy = typing.Callable[..., typing.Optional[int]]
+
+_REGISTRY: dict[str, AdmissionPolicy] = {}
+
+
+def register_admission_policy(name: str, limit: AdmissionPolicy) -> None:
+    """Make *name* selectable via ``AdmissionSpec(name)``.
+
+    *limit* receives the spec itself plus the server context (disk
+    count, :class:`DriveParameters`, :class:`StreamParameters`, and the
+    per-disk capacity in bytes) and returns the concurrent-stream cap,
+    or None for no cap.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"admission policy name must be a non-empty string, got {name!r}"
+        )
+    _REGISTRY[name] = limit
+
+
+def admission_policy_names() -> tuple[str, ...]:
+    """Every currently registered policy name (registration order)."""
+    return tuple(_REGISTRY)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,10 +86,10 @@ class AdmissionSpec:
     headroom: float = 0.9
 
     def __post_init__(self) -> None:
-        if self.policy not in ADMISSION_POLICIES:
+        if self.policy not in _REGISTRY:
             raise ValueError(
                 f"unknown admission policy {self.policy!r}; "
-                f"choose from {ADMISSION_POLICIES}"
+                f"choose from {admission_policy_names()}"
             )
         if self.max_streams < 1:
             raise ValueError(f"max_streams must be >= 1, got {self.max_streams}")
@@ -61,17 +104,32 @@ class AdmissionSpec:
         disk_capacity_bytes: int,
     ) -> int | None:
         """Concurrent-stream cap implied by the policy (None = no cap)."""
-        if self.policy == "none":
-            return None
+        return _REGISTRY[self.policy](
+            self, disks, drive, stream, disk_capacity_bytes
+        )
+
+    def label(self) -> str:
         if self.policy == "fixed":
-            return self.max_streams
+            return f"fixed({self.max_streams})"
         if self.policy == "bandwidth":
-            aggregate = disks * drive.transfer_rate_bytes * self.headroom
-            return max(1, int(aggregate / stream.bytes_per_second))
-        if self.policy == "analytic":
-            estimates = estimate_capacity(drive, stream, disks, disk_capacity_bytes)
-            return max(1, estimates.scan)
-        raise AssertionError(f"unhandled policy {self.policy!r}")
+            return f"bandwidth({self.headroom:g})"
+        return self.policy
+
+
+def _bandwidth_limit(spec, disks, drive, stream, disk_capacity_bytes):
+    aggregate = disks * drive.transfer_rate_bytes * spec.headroom
+    return max(1, int(aggregate / stream.bytes_per_second))
+
+
+def _analytic_limit(spec, disks, drive, stream, disk_capacity_bytes):
+    estimates = estimate_capacity(drive, stream, disks, disk_capacity_bytes)
+    return max(1, estimates.scan)
+
+
+register_admission_policy("none", lambda spec, *context: None)
+register_admission_policy("fixed", lambda spec, *context: spec.max_streams)
+register_admission_policy("bandwidth", _bandwidth_limit)
+register_admission_policy("analytic", _analytic_limit)
 
 
 class AdmissionController:
@@ -86,8 +144,18 @@ class AdmissionController:
         self.queued = 0
         self.shed_admissions = 0
         self.wait_times = Tally()
+        #: Time-weighted wait-queue length (mean and max over the
+        #: measurement window; see ``RunMetrics.admission_queue_len_*``).
+        self.queue_lengths = TimeWeighted(env.now)
         # Nested shed requests (one per concurrent disk outage).
         self._shed = 0
+
+    @property
+    def would_queue(self) -> bool:
+        """Whether a slot requested right now would have to wait."""
+        return self._shed > 0 or (
+            self.limit is not None and self.active >= self.limit
+        )
 
     def request_slot(self) -> Event:
         """Fires when the stream may start (immediately if room)."""
@@ -95,7 +163,7 @@ class AdmissionController:
         if self._shed > 0:
             self.queued += 1
             self.shed_admissions += 1
-            self._waiting.append((event, self.env.now))
+            self._enqueue(event)
         elif self.limit is None or self.active < self.limit:
             self.active += 1
             self.admitted += 1
@@ -103,7 +171,7 @@ class AdmissionController:
             event.succeed()
         else:
             self.queued += 1
-            self._waiting.append((event, self.env.now))
+            self._enqueue(event)
         return event
 
     def release_slot(self) -> None:
@@ -111,12 +179,31 @@ class AdmissionController:
         if self.active <= 0:
             raise ValueError("release_slot() with no active streams")
         if self._waiting and self._shed == 0:
-            waiter, requested_at = self._waiting.popleft()
-            self.admitted += 1
-            self.wait_times.record(self.env.now - requested_at)
-            waiter.succeed()
+            self._admit_waiter()
         else:
             self.active -= 1
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a still-waiting slot request (a queued customer
+        reneging).  Returns False when *event* is not waiting — already
+        admitted, or never queued — in which case nothing changes."""
+        for entry in self._waiting:
+            if entry[0] is event:
+                self._waiting.remove(entry)
+                self.queue_lengths.update(self.env.now, len(self._waiting))
+                return True
+        return False
+
+    def _enqueue(self, event: Event) -> None:
+        self._waiting.append((event, self.env.now))
+        self.queue_lengths.update(self.env.now, len(self._waiting))
+
+    def _admit_waiter(self) -> None:
+        waiter, requested_at = self._waiting.popleft()
+        self.queue_lengths.update(self.env.now, len(self._waiting))
+        self.admitted += 1
+        self.wait_times.record(self.env.now - requested_at)
+        waiter.succeed()
 
     # ------------------------------------------------------------------
     # Load shedding during disk outages (see repro.faults)
@@ -138,18 +225,21 @@ class AdmissionController:
 
     def _drain_waiters(self) -> None:
         while self._waiting and (self.limit is None or self.active < self.limit):
-            waiter, requested_at = self._waiting.popleft()
             self.active += 1
-            self.admitted += 1
-            self.wait_times.record(self.env.now - requested_at)
-            waiter.succeed()
+            self._admit_waiter()
 
     @property
     def queue_length(self) -> int:
         return len(self._waiting)
+
+    @property
+    def max_wait_s(self) -> float:
+        """Longest wait any admitted-from-queue stream experienced."""
+        return self.wait_times.maximum if self.wait_times.count else 0.0
 
     def reset_stats(self) -> None:
         self.admitted = 0
         self.queued = 0
         self.shed_admissions = 0
         self.wait_times.reset()
+        self.queue_lengths.reset(self.env.now)

@@ -11,7 +11,7 @@ from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Gate, PriorityStore, Resource, Store
 from repro.sim.rng import DiscreteSampler, RandomSource, zipf_weights
-from repro.sim.stats import BusyTracker, Tally, TimeWeighted, WindowedRate
+from repro.sim.stats import BusyTracker, Quantile, Tally, TimeWeighted, WindowedRate
 
 __all__ = [
     "AllOf",
@@ -26,6 +26,7 @@ __all__ = [
     "NORMAL",
     "PriorityStore",
     "Process",
+    "Quantile",
     "RandomSource",
     "Resource",
     "SimError",

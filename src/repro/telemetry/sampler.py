@@ -83,9 +83,13 @@ def standard_probes(system) -> dict[str, typing.Callable[[], float]]:
     def total_glitches() -> float:
         return float(sum(t.stats.glitches for t in system.terminals))
 
+    def admission_queue() -> float:
+        return float(system.admission.queue_length)
+
     return {
         "disk_queue": mean_disk_queue,
         "pool_occupancy": mean_pool_occupancy,
         "prefetched_fraction": prefetched_fraction,
         "glitches": total_glitches,
+        "admission_queue": admission_queue,
     }

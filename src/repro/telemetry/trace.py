@@ -26,6 +26,16 @@ REBUILD_START = "rebuild.start"
 REBUILD_BLOCK = "rebuild.block"
 REBUILD_END = "rebuild.end"
 
+#: Event kinds emitted by the open-system workload subsystem.
+SESSION_ARRIVE = "session.arrive"
+SESSION_ADMIT = "session.admit"
+SESSION_BALK = "session.balk"
+SESSION_RENEGE = "session.renege"
+SESSION_COMPLETE = "session.complete"
+SESSION_ABANDON = "session.abandon"
+QUEUE_ENTER = "queue.enter"
+QUEUE_LEAVE = "queue.leave"
+
 
 class TraceEvent(typing.NamedTuple):
     time: float

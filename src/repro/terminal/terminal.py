@@ -78,6 +78,15 @@ class Terminal:
             )
         self.initial_position_fraction = initial_position_fraction
         self.stats = TerminalStats()
+        #: When set (by the open-system session layer), the next
+        #: playback's startup latency is measured from this instant —
+        #: the customer's *arrival* — so admission-queue and piggyback
+        #: waits count toward the startup SLO.  None measures from the
+        #: play() call, the closed-system behaviour.
+        self.startup_anchor: float | None = None
+        #: Optional shared :class:`~repro.workload.qos.QosMonitor` fed
+        #: one latency per playback start (set by system assembly).
+        self.qos = None
 
         # Per-session playback state (reset by _reset_session).
         self._video: Video | None = None
@@ -139,7 +148,10 @@ class Terminal:
         video = self.fabric.library[video_id]
         self._begin_session(video, start_frame)
         epoch = self._epoch
-        session_start = self.env.now
+        session_start = (
+            self.env.now if self.startup_anchor is None else self.startup_anchor
+        )
+        self.startup_anchor = None
         self.env.process(
             self._requester(epoch), name=f"terminal-{self.terminal_id}-req"
         )
@@ -150,7 +162,10 @@ class Terminal:
 
         # Prime, then display until the video ends.
         yield from self._wait_primed()
-        self.stats.startup_latency.record(self.env.now - session_start)
+        startup_latency = self.env.now - session_start
+        self.stats.startup_latency.record(startup_latency)
+        if self.qos is not None:
+            self.qos.record_startup(startup_latency)
         # The anchor is the (virtual) time frame 0 displayed; display of
         # frame f is due at anchor + f/fps, which makes the first frame
         # due right now even for a mid-video start.
@@ -372,6 +387,22 @@ class Terminal:
         self._data_gate.open()
         self._slot_gate.open()
         return None
+
+    def abandon(self) -> None:
+        """Stop the current viewing: the customer departs mid-video.
+
+        Used by the open-system session layer when a viewer's time runs
+        out (session churn).  Bumping the epoch makes the requester,
+        display loop, and in-flight deliveries of this viewing retire at
+        their next wakeup — exactly the mechanism :meth:`seek` uses to
+        discard a stale stream — and the gates are opened so nothing
+        sleeps through the epoch change.
+        """
+        if self._video is None:
+            raise ValueError("abandon() with no active video")
+        self._epoch += 1
+        self._slot_gate.open()
+        self._data_gate.open()
 
     # ------------------------------------------------------------------
     # Interactive controls (§8.1)

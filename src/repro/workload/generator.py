@@ -1,0 +1,226 @@
+"""The session generator: arrival-driven load instead of a fixed
+terminal population.
+
+One :class:`SessionGenerator` process replaces the closed loop of
+``Terminal._run``.  It draws session arrivals from the configured
+:mod:`arrival process <repro.workload.arrivals>` by thinning, and each
+session runs as its own process through the full customer lifecycle:
+
+    arrive → (balk | queue → (renege | admit)) → piggyback window →
+    stream → (watch to the end | depart early) → release slot
+
+Every admitted session spawns a fresh :class:`~repro.terminal.terminal.
+Terminal` — sessions churn in and out of the system, which is what the
+closed model cannot express.  Denied demand (balks, reneges) becomes a
+*measured* quantity instead of a coroutine blocked forever in the
+admission queue.
+
+Determinism: interarrival gaps, thinning accepts, patience, title
+selection, viewing durations, and per-session terminal behaviour each
+draw from their own child stream of the ``"workload"`` RNG stream, so
+verdicts never depend on scheduling order and the closed default draws
+nothing at all.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.media.access import make_access_model
+from repro.sim.rng import RandomSource
+from repro.telemetry import trace as trace_events
+from repro.terminal.terminal import Terminal
+from repro.workload.arrivals import make_arrival_process
+from repro.workload.popularity import RotatingPopularity
+from repro.workload.spec import ArrivalSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import SpiffiSystem
+    from repro.telemetry.trace import TraceRecorder
+
+
+class SessionStats:
+    """Counts over the measurement window (reset like all run stats)."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: Sessions that arrived (balked ones included).
+        self.offered = 0
+        #: Sessions granted a stream slot.
+        self.admitted = 0
+        #: Arrivals rejected on the spot: wait queue full.
+        self.balked = 0
+        #: Queued sessions whose patience ran out before admission.
+        self.reneged = 0
+        #: Admitted sessions that finished their video.
+        self.completed = 0
+        #: Admitted sessions that departed before the video ended.
+        self.abandoned = 0
+
+
+class SessionGenerator:
+    """Spawns and retires terminals according to an arrival process."""
+
+    def __init__(
+        self,
+        env,
+        system: "SpiffiSystem",
+        spec: ArrivalSpec,
+        rng: RandomSource,
+    ) -> None:
+        self.env = env
+        self.system = system
+        self.spec = spec
+        self.process = make_arrival_process(spec)
+        config = system.config
+        self.popularity = RotatingPopularity(
+            make_access_model(
+                config.access_model, config.video_count, config.zipf_skew
+            ),
+            spec,
+            rng.spawn("select"),
+            rng,
+        )
+        self._arrival_rng = rng.spawn("arrivals")
+        self._patience_rng = rng.spawn("patience")
+        self._view_rng = rng.spawn("views")
+        self._session_rng_root = rng
+        self._sessions = 0
+        self.stats = SessionStats()
+        #: Optional structured trace (see ``enable_session_tracing``).
+        self.trace: "TraceRecorder | None" = None
+
+    # ------------------------------------------------------------------
+    # Arrival loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.env.process(self._run(), name="session-generator")
+
+    def _run(self):
+        env = self.env
+        peak = self.process.peak_rate
+        while True:
+            yield env.timeout(self._arrival_rng.exponential(1.0 / peak))
+            rate = self.process.rate_at(env.now)
+            if rate < peak and self._arrival_rng.uniform() * peak > rate:
+                continue  # Thinned candidate: no arrival at this instant.
+            self._sessions += 1
+            session = self._sessions
+            env.process(self._session(session), name=f"session-{session}")
+
+    # ------------------------------------------------------------------
+    # One customer lifecycle
+    # ------------------------------------------------------------------
+    def _session(self, session: int):
+        env = self.env
+        spec = self.spec
+        system = self.system
+        admission = system.admission
+        arrived = env.now
+        self.stats.offered += 1
+        self._record(trace_events.SESSION_ARRIVE, session=session)
+
+        # --- bounded wait queue: balk, queue, maybe renege -------------
+        if admission.would_queue and admission.queue_length >= spec.queue_limit:
+            self.stats.balked += 1
+            self._record(
+                trace_events.SESSION_BALK,
+                session=session,
+                queue_length=admission.queue_length,
+            )
+            return None
+        slot = admission.request_slot()
+        if not slot.triggered:
+            self._record(
+                trace_events.QUEUE_ENTER,
+                session=session,
+                queue_length=admission.queue_length,
+            )
+            if spec.mean_patience_s > 0:
+                patience = self._patience_rng.exponential(spec.mean_patience_s)
+                yield env.any_of([slot, env.timeout(patience)])
+                if not slot.triggered:
+                    admission.cancel(slot)
+                    self.stats.reneged += 1
+                    self._record(
+                        trace_events.SESSION_RENEGE,
+                        session=session,
+                        waited_s=env.now - arrived,
+                    )
+                    return None
+            else:
+                yield slot
+            self._record(
+                trace_events.QUEUE_LEAVE,
+                session=session,
+                waited_s=env.now - arrived,
+            )
+        self.stats.admitted += 1
+        self._record(
+            trace_events.SESSION_ADMIT,
+            session=session,
+            waited_s=env.now - arrived,
+        )
+
+        # --- launch: piggyback batching, then a fresh terminal ---------
+        video_id = self.popularity.select(env.now)
+        launch = system.request_start(video_id)
+        if launch is not None:
+            yield launch
+        terminal = self._spawn_terminal(session)
+        # Startup latency spans the whole wait: arrival to first frame.
+        terminal.startup_anchor = arrived
+        playback = env.process(
+            terminal.play(video_id), name=f"session-{session}-play"
+        )
+
+        # --- viewing time: watch to the end, or churn out early --------
+        if spec.mean_view_duration_s > 0:
+            view_for = self._view_rng.exponential(spec.mean_view_duration_s)
+            yield env.any_of([playback, env.timeout(view_for)])
+            if not playback.triggered:
+                terminal.abandon()
+                self.stats.abandoned += 1
+                self._record(
+                    trace_events.SESSION_ABANDON,
+                    session=session,
+                    video=video_id,
+                    watched_s=view_for,
+                )
+            else:
+                self.stats.completed += 1
+                self._record(
+                    trace_events.SESSION_COMPLETE, session=session, video=video_id
+                )
+        else:
+            yield playback
+            self.stats.completed += 1
+            self._record(
+                trace_events.SESSION_COMPLETE, session=session, video=video_id
+            )
+        system.release_admission()
+        return None
+
+    def _spawn_terminal(self, session: int) -> Terminal:
+        system = self.system
+        config = system.config
+        terminal = Terminal(
+            env=self.env,
+            terminal_id=session,
+            fabric=system,
+            access=system.access,
+            rng=self._session_rng_root.spawn(f"session-{session}"),
+            memory_bytes=config.terminal_memory_bytes,
+            pause_model=config.pause_model,
+        )
+        system.adopt_terminal(terminal)
+        return terminal
+
+    def _record(self, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(kind, **fields)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

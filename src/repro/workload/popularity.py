@@ -1,0 +1,75 @@
+"""Time-varying video popularity for open-system workloads.
+
+The paper's access models (:mod:`repro.media.access`) are static: rank
+*r* is the same title for the whole run.  Real VoD catalogs churn — the
+most-requested titles are this week's releases, and next week they are
+different titles.  :class:`RotatingPopularity` keeps the *shape* of the
+configured access model (Zipf or any registered model's weights) but
+rotates which titles occupy the top ``hotset_size`` ranks every
+``hotset_rotation_s`` simulated seconds.
+
+Determinism: the rank→title mapping for rotation epoch *e* is derived
+from a child RNG stream named by *e* alone (``hotset-{e}``), never from
+how many samples were drawn before, so the catalog history is a pure
+function of the seed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.media.access import AccessModel
+from repro.sim.rng import DiscreteSampler, RandomSource
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.spec import ArrivalSpec
+
+
+class RotatingPopularity:
+    """Samples titles by rank popularity with a rotating hotset."""
+
+    def __init__(
+        self,
+        model: AccessModel,
+        spec: "ArrivalSpec",
+        sample_rng: RandomSource,
+        epoch_rng: RandomSource,
+    ) -> None:
+        self.video_count = model.video_count
+        self.hotset_size = min(spec.hotset_size, model.video_count)
+        self.rotation_s = spec.hotset_rotation_s
+        self._sampler = DiscreteSampler(model.weights(), sample_rng)
+        self._epoch_rng = epoch_rng
+        self._epoch: int | None = None
+        self._mapping: list[int] = list(range(model.video_count))
+
+    def epoch_at(self, now: float) -> int:
+        if self.rotation_s <= 0:
+            return 0
+        return int(now // self.rotation_s)
+
+    def mapping_for(self, epoch: int) -> list[int]:
+        """The rank→title mapping of one rotation epoch.
+
+        The epoch's releases (the new hotset) are a seeded draw keyed by
+        the epoch number; every title outside the hotset keeps its
+        natural (id-ordered) relative ranking below them.
+        """
+        if self.hotset_size == 0:
+            return list(range(self.video_count))
+        ids = list(range(self.video_count))
+        self._epoch_rng.spawn(f"hotset-{epoch}").shuffle(ids)
+        hot = ids[: self.hotset_size]
+        members = set(hot)
+        return hot + [video for video in range(self.video_count) if video not in members]
+
+    def select(self, now: float) -> int:
+        """Pick the next title requested at time *now*."""
+        rank = self._sampler.sample()
+        if self.hotset_size == 0:
+            return rank
+        epoch = self.epoch_at(now)
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._mapping = self.mapping_for(epoch)
+        return self._mapping[rank]

@@ -1,0 +1,180 @@
+"""Saturation search: the maximum sustainable session arrival rate.
+
+The open-system analogue of the paper's max-terminals methodology
+(§7.1): instead of "how many looping terminals fit," it answers "how
+much traffic can this server sustain under its SLOs?" — the question an
+inference- or video-serving stack is actually benchmarked on.  A load
+point is *sustainable* when the run stays inside every bound of the
+:class:`SloPolicy` (zero glitches, p99 startup latency, rejection
+rate); the search reuses the deterministic batch planner
+(:func:`repro.experiments.search.plan_probes`), so the probe plan —
+and therefore the result — is bit-identical under any executor, job
+count, or cache state.
+
+Rates are searched in integer **arrivals per minute** so the planner's
+snap-to-granularity arithmetic stays exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.workload.spec import ArrivalSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    # Imported lazily at runtime: this module is reachable from
+    # ``SpiffiConfig`` (via the workload package), so importing the
+    # config/experiments layers here would be circular.
+    from repro.core.config import SpiffiConfig
+    from repro.core.metrics import RunMetrics
+    from repro.experiments.runner import Runner
+
+
+@dataclasses.dataclass(frozen=True)
+class SloPolicy:
+    """What "sustainable" means for a saturation search."""
+
+    #: p99 startup latency (arrival to first frame) must stay under this.
+    max_p99_startup_s: float = 10.0
+    #: (balked + reneged) / offered must stay under this.
+    max_rejection_rate: float = 0.05
+    #: Scheduling glitches allowed during the window (the paper's bound).
+    max_glitches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_p99_startup_s <= 0:
+            raise ValueError(
+                f"max_p99_startup_s must be positive, got {self.max_p99_startup_s}"
+            )
+        if not 0.0 <= self.max_rejection_rate <= 1.0:
+            raise ValueError(
+                f"max_rejection_rate must be in [0, 1], "
+                f"got {self.max_rejection_rate}"
+            )
+        if self.max_glitches < 0:
+            raise ValueError(
+                f"max_glitches must be >= 0, got {self.max_glitches}"
+            )
+
+    def sustainable(self, metrics: "RunMetrics") -> bool:
+        """Whether one run satisfied every SLO."""
+        if metrics.glitches > self.max_glitches:
+            return False
+        if metrics.startup_p99_s > self.max_p99_startup_s:
+            return False
+        return metrics.rejection_rate <= self.max_rejection_rate
+
+
+@dataclasses.dataclass(frozen=True)
+class RateProbe:
+    """One simulated load point of a saturation search."""
+
+    rate_per_min: int
+    seed: int
+    metrics: "RunMetrics"
+    sustainable: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class SaturationResult:
+    """Outcome of one max-sustainable-rate search."""
+
+    max_rate_per_min: int
+    granularity: int
+    slo: SloPolicy
+    probes: tuple[RateProbe, ...]
+
+    @property
+    def max_rate_per_s(self) -> float:
+        return self.max_rate_per_min / 60.0
+
+    @property
+    def runs(self) -> int:
+        return len(self.probes)
+
+    def metrics_at_max(self) -> "RunMetrics | None":
+        """Metrics of a sustainable run at the reported maximum rate."""
+        for probe in self.probes:
+            if probe.rate_per_min == self.max_rate_per_min and probe.sustainable:
+                return probe.metrics
+        return None
+
+
+def find_max_rate(
+    config: "SpiffiConfig",
+    workload_for_rate: typing.Callable[[float], ArrivalSpec],
+    slo: SloPolicy | None = None,
+    hint: int = 60,
+    granularity: int = 12,
+    low: int = 12,
+    high: int = 1200,
+    replications: int = 1,
+    runner: "Runner | None" = None,
+    speculation: int | None = None,
+    tag: str = "",
+) -> SaturationResult:
+    """Largest arrival rate (arrivals/min, a multiple of *granularity*)
+    sustainable under *slo* across *replications* seeded runs.
+
+    *workload_for_rate* maps a rate in sessions/second to the full
+    :class:`ArrivalSpec` to probe (fixing the process, queue bound,
+    patience, and SLO parameters); every probe runs ``config`` with only
+    that spec (and the replication seed) changed.  Probes fan out
+    through *runner* batch by batch exactly like
+    :func:`repro.experiments.search.find_max_terminals`, so results are
+    identical for any executor or job count and cache-hit on re-runs.
+    """
+    from repro.experiments.runner import RunRequest, default_runner
+    from repro.experiments.search import SPECULATION, plan_probes
+
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    if speculation is None:
+        speculation = SPECULATION
+    slo = slo or SloPolicy()
+    low = max(granularity, (low // granularity) * granularity)
+    high = (high // granularity) * granularity
+    if low > high:
+        raise ValueError(f"empty search range [{low}, {high}]")
+    runner = runner or default_runner()
+
+    pivot = min(max((hint // granularity) * granularity, low), high)
+    probes: list[RateProbe] = []
+    plan = plan_probes(low, high, pivot, granularity, speculation)
+    batch = next(plan)
+    while True:
+        seeds = [config.seed + replication for replication in range(replications)]
+        requests = [
+            RunRequest(
+                config.replace(
+                    workload=workload_for_rate(rate / 60.0), seed=seed
+                ),
+                tag=f"{tag or 'saturation'} rate={rate}/min seed={seed}",
+            )
+            for rate in batch
+            for seed in seeds
+        ]
+        outcomes = iter(runner.run_batch(requests))
+        verdicts: dict[int, bool] = {}
+        for rate in batch:
+            ok = True
+            for seed in seeds:
+                outcome = next(outcomes)
+                if outcome.failed:
+                    raise RuntimeError(
+                        f"saturation probe {outcome.tag or rate} failed: "
+                        f"{outcome.error}"
+                    )
+                metrics = outcome.metrics
+                sustainable = slo.sustainable(metrics)
+                probes.append(RateProbe(rate, seed, metrics, sustainable))
+                if not sustainable:
+                    ok = False
+            verdicts[rate] = ok
+        try:
+            batch = plan.send(verdicts)
+        except StopIteration as stop:
+            return SaturationResult(stop.value, granularity, slo, tuple(probes))

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.analytic import StreamParameters
-from repro.server.admission import AdmissionController, AdmissionSpec
+from repro.server.admission import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmissionSpec,
+    admission_policy_names,
+    register_admission_policy,
+)
 from repro.sim import Environment
 from repro.storage import DriveParameters
 
@@ -41,6 +47,44 @@ class TestAdmissionSpec:
             AdmissionSpec(policy="fixed", max_streams=0)
         with pytest.raises(ValueError):
             AdmissionSpec(headroom=0.0)
+
+    def test_labels(self):
+        assert AdmissionSpec().label() == "none"
+        assert AdmissionSpec("fixed", max_streams=7).label() == "fixed(7)"
+        assert AdmissionSpec("bandwidth", headroom=0.5).label() == "bandwidth(0.5)"
+
+
+class TestAdmissionRegistry:
+    def test_builtins_registered(self):
+        names = admission_policy_names()
+        for builtin in ADMISSION_POLICIES:
+            assert builtin in names
+
+    def test_unknown_policy_error_names_registry(self):
+        with pytest.raises(ValueError) as err:
+            AdmissionSpec(policy="vibes")
+        message = str(err.value)
+        assert "vibes" in message
+        for name in admission_policy_names():
+            assert name in message
+
+    def test_plugin_policy(self, monkeypatch):
+        import repro.server.admission as admission_module
+
+        monkeypatch.setattr(
+            admission_module, "_REGISTRY", dict(admission_module._REGISTRY)
+        )
+        register_admission_policy("ten", lambda spec, *context: 10)
+        spec = AdmissionSpec(policy="ten")
+        assert "ten" in admission_policy_names()
+        limit = spec.stream_limit(16, DriveParameters(), StreamParameters(), 5 * GB)
+        assert limit == 10
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            register_admission_policy("", lambda spec, *context: None)
+        with pytest.raises(ValueError):
+            register_admission_policy(None, lambda spec, *context: None)
 
 
 class TestAdmissionController:
@@ -92,6 +136,95 @@ class TestAdmissionController:
         controller = AdmissionController(env, limit=1)
         with pytest.raises(ValueError):
             controller.release_slot()
+
+
+class TestWaitQueueStats:
+    """The bounded-queue hooks the open-system workload layer uses."""
+
+    def test_would_queue_tracks_capacity(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        assert not controller.would_queue
+        controller.request_slot()
+        assert controller.would_queue
+
+    def test_would_queue_unlimited_only_when_shedding(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=None)
+        assert not controller.would_queue
+        controller.begin_shed()
+        assert controller.would_queue
+
+    def test_cancel_removes_waiter(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        waiter = controller.request_slot()
+        assert controller.queue_length == 1
+        assert controller.cancel(waiter)
+        assert controller.queue_length == 0
+        # The slot now goes to nobody: release keeps capacity free.
+        controller.release_slot()
+        assert controller.active == 0
+
+    def test_cancel_admitted_event_is_noop(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=2)
+        admitted = controller.request_slot()
+        assert admitted.triggered
+        assert not controller.cancel(admitted)
+
+    def test_cancelled_waiter_never_admitted(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        first = controller.request_slot()
+        second = controller.request_slot()
+        controller.cancel(first)
+        controller.release_slot()
+        assert not first.triggered
+        assert second.triggered
+
+    def test_queue_length_time_series(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+
+        def scenario(env):
+            yield env.timeout(4.0)  # queue empty for 4s
+            controller.request_slot()
+            yield env.timeout(4.0)  # one waiter for 4s
+            controller.release_slot()
+            yield env.timeout(8.0)  # empty again for 8s
+
+        env.process(scenario(env))
+        env.run(until=16.0)
+        assert controller.queue_lengths.maximum == 1
+        assert controller.queue_lengths.mean(16.0) == pytest.approx(4.0 / 16.0)
+
+    def test_max_wait_reported(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        waiter = controller.request_slot()
+
+        def releaser(env):
+            yield env.timeout(9.0)
+            controller.release_slot()
+
+        env.process(releaser(env))
+        env.run(until=waiter)
+        assert controller.max_wait_s == pytest.approx(9.0)
+
+    def test_reset_clears_queue_series(self):
+        env = Environment()
+        controller = AdmissionController(env, limit=1)
+        controller.request_slot()
+        controller.request_slot()
+        controller.reset_stats()
+        assert controller.max_wait_s == 0.0
+        # The waiter is still queued: the level survives the reset.
+        assert controller.queue_lengths.level == 1
 
 
 class TestShedding:

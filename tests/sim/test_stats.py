@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.sim import BusyTracker, Tally, TimeWeighted, WindowedRate
+from repro.sim import BusyTracker, Quantile, RandomSource, Tally, TimeWeighted, WindowedRate
 
 
 class TestTally:
@@ -38,6 +38,81 @@ class TestTally:
         tally.reset()
         assert tally.count == 0
         assert tally.mean == 0.0
+
+
+def sorted_sample_quantile(values, p):
+    """Nearest-rank quantile of a stored sample (the exact reference)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestQuantile:
+    def test_validation(self):
+        for p in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                Quantile(p)
+
+    def test_empty_reads_zero(self):
+        assert Quantile(0.5).value == 0.0
+
+    def test_small_samples_exact(self):
+        q = Quantile(0.5)
+        for value in (9.0, 1.0, 5.0):
+            q.record(value)
+        assert q.value == 5.0  # exact median of 3 stored samples
+        q95 = Quantile(0.95)
+        for value in (4.0, 2.0, 8.0, 6.0, 0.0):
+            q95.record(value)
+        assert q95.value == 8.0  # nearest-rank: ceil(0.95 * 5) = 5th
+
+    def test_reset(self):
+        q = Quantile(0.5)
+        for value in range(100):
+            q.record(float(value))
+        q.reset()
+        assert q.count == 0
+        assert q.value == 0.0
+        q.record(3.0)
+        assert q.value == 3.0
+
+    def _accuracy(self, draw, p, tolerance, n=5000):
+        rng = RandomSource(42)
+        values = [draw(rng) for _ in range(n)]
+        q = Quantile(p)
+        for value in values:
+            q.record(value)
+        exact = sorted_sample_quantile(values, p)
+        scale = max(abs(exact), 1e-9)
+        assert abs(q.value - exact) / scale < tolerance, (q.value, exact)
+
+    def test_uniform_accuracy(self):
+        for p in (0.5, 0.95, 0.99):
+            self._accuracy(lambda rng: rng.uniform(0.0, 10.0), p, 0.05)
+
+    def test_exponential_accuracy(self):
+        for p in (0.5, 0.95, 0.99):
+            self._accuracy(lambda rng: rng.exponential(2.0), p, 0.10)
+
+    def test_bimodal_accuracy(self):
+        def draw(rng):
+            # Two well-separated clusters, 80/20 mixture.
+            if rng.uniform() < 0.8:
+                return rng.uniform(0.0, 1.0)
+            return rng.uniform(50.0, 51.0)
+
+        # The p95 straddles the upper cluster: the hard case for P^2.
+        for p, tolerance in ((0.5, 0.10), (0.99, 0.10)):
+            self._accuracy(draw, p, tolerance)
+
+    def test_monotone_in_p(self):
+        rng = RandomSource(7)
+        quantiles = [Quantile(p) for p in (0.5, 0.9, 0.99)]
+        for _ in range(2000):
+            value = rng.exponential(1.0)
+            for q in quantiles:
+                q.record(value)
+        assert quantiles[0].value <= quantiles[1].value <= quantiles[2].value
 
 
 class TestTimeWeighted:

@@ -132,7 +132,8 @@ class TestStandardProbes:
         system.env.run(until=12.0)
         latest = sampler.latest()
         assert set(latest) == {"disk_queue", "pool_occupancy",
-                               "prefetched_fraction", "glitches"}
+                               "prefetched_fraction", "glitches",
+                               "admission_queue"}
         assert 0.0 <= latest["pool_occupancy"] <= 1.0
         assert latest["glitches"] == 0.0
         assert len(sampler.rows) == 7
