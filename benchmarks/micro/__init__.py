@@ -1,0 +1,6 @@
+"""Stdlib-only microbenchmarks for the discrete-event kernel.
+
+Run ``python benchmarks/micro/kernel_bench.py --help`` (with
+``PYTHONPATH=src``) for the harness; results are published to
+``BENCH_kernel.json`` at the repo root.
+"""

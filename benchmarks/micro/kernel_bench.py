@@ -1,0 +1,266 @@
+"""Microbenchmark harness for the ``repro.sim`` kernel hot path.
+
+Measures raw kernel throughput (events per second, derived from the
+environment's ``events_processed`` counter and wall time) over three
+canned, fully deterministic scenarios:
+
+* ``timer_storm``      — thousands of interleaved timeouts; pure
+  event-queue churn with no resource or condition machinery.
+* ``resource_contention`` — processes fighting over a small
+  :class:`~repro.sim.resources.Resource` with ``AnyOf`` timeout races;
+  exercises ``Request``/``succeed``/condition scheduling.
+* ``spiffi_small``     — one complete small :func:`repro.run_simulation`
+  (build + warmup + measure), the end-to-end number every figure pays.
+
+Stdlib-only by design: no pytest-benchmark, no numpy in the hot loop.
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/micro/kernel_bench.py                 # print a table
+    PYTHONPATH=src python benchmarks/micro/kernel_bench.py --json out.json # machine-readable
+    PYTHONPATH=src python benchmarks/micro/kernel_bench.py --check BENCH_kernel.json
+
+``--check`` is the CI perf-smoke mode: it re-measures and fails (exit 1)
+if any scenario's events/sec drops below that scenario's
+``floor_events_per_s`` recorded in the published baseline.  Floors are
+deliberately generous (a fraction of the tuned throughput on the
+recording host) so only a genuine hot-path regression — not runner
+jitter — trips them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.sim import Environment, Resource
+from repro.sim.rng import RandomSource
+
+#: Bump when scenario definitions change (results are not comparable
+#: across schema versions).
+SCHEMA = "repro.bench.kernel/1"
+
+#: Fraction of freshly measured events/sec recorded as the CI floor.
+FLOOR_FRACTION = 0.25
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Each takes a deterministic seed, runs one simulation, and
+# returns the environment so the driver can read ``events_processed``.
+# ----------------------------------------------------------------------
+def timer_storm(seed: int = 1, processes: int = 200, horizon: float = 500.0) -> Environment:
+    """Interleaved sleep loops: the pure timeout/queue fast path."""
+    env = Environment()
+    rng = RandomSource(seed)
+
+    def sleeper(env, stream):
+        while True:
+            yield env.timeout(0.05 + stream.uniform(0.0, 1.0))
+
+    for index in range(processes):
+        env.process(sleeper(env, rng.spawn(f"storm-{index}")), name=f"storm-{index}")
+    env.run(until=horizon)
+    return env
+
+
+def resource_contention(
+    seed: int = 2, processes: int = 120, capacity: int = 8, horizon: float = 400.0
+) -> Environment:
+    """Request/release churn with AnyOf timeout races on a shared resource."""
+    env = Environment()
+    rng = RandomSource(seed)
+    pool = Resource(env, capacity=capacity)
+
+    def worker(env, stream):
+        while True:
+            req = pool.request()
+            yield env.any_of([req, env.timeout(2.0)])
+            if not req.processed:
+                # Lost the race against the timeout: keep waiting for
+                # the grant (exercises re-waiting on a pending event).
+                yield req
+            yield env.timeout(0.05 + stream.uniform(0.0, 0.2))
+            pool.release(req)
+            yield env.timeout(stream.uniform(0.0, 0.1))
+
+    for index in range(processes):
+        env.process(worker(env, rng.spawn(f"worker-{index}")), name=f"worker-{index}")
+    env.run(until=horizon)
+    return env
+
+
+def spiffi_small(seed: int = 3) -> Environment:
+    """One complete small SpiffiSystem run: the end-to-end cost."""
+    from repro import MB, SpiffiConfig
+    from repro.core.system import SpiffiSystem
+
+    config = SpiffiConfig(
+        nodes=2,
+        disks_per_node=2,
+        terminals=24,
+        videos_per_disk=2,
+        video_length_s=600.0,
+        server_memory_bytes=256 * MB,
+        start_spread_s=4.0,
+        warmup_grace_s=6.0,
+        measure_s=150.0,
+        seed=seed,
+    )
+    system = SpiffiSystem(config)
+    system.run()
+    return system.env
+
+
+SCENARIOS = {
+    "timer_storm": timer_storm,
+    "resource_contention": resource_contention,
+    "spiffi_small": spiffi_small,
+}
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def measure(name: str, repeat: int = 3) -> dict:
+    """Best-of-*repeat* measurement of one scenario.
+
+    Best (not mean) wall time is the standard microbenchmark estimator:
+    noise on a busy host only ever slows a run down.
+    """
+    scenario = SCENARIOS[name]
+    best_wall = float("inf")
+    events = 0
+    for _ in range(repeat):
+        started = time.perf_counter()
+        env = scenario()
+        wall = time.perf_counter() - started
+        if wall < best_wall:
+            best_wall = wall
+            events = env.events_processed
+    return {
+        "events": events,
+        "wall_s": round(best_wall, 6),
+        "events_per_s": round(events / best_wall, 1) if best_wall > 0 else 0.0,
+    }
+
+
+def run_all(repeat: int = 3) -> dict:
+    return {name: measure(name, repeat=repeat) for name in SCENARIOS}
+
+
+def geometric_mean(ratios: list[float]) -> float:
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    return product ** (1.0 / len(ratios)) if ratios else 0.0
+
+
+def publish(results: dict, before: dict | None = None) -> dict:
+    """The BENCH_kernel.json document for freshly measured *results*.
+
+    With *before* (same shape as *results*), per-scenario and aggregate
+    speedups are computed; otherwise the document carries only "after"
+    numbers.  CI floors are a generous :data:`FLOOR_FRACTION` of the
+    measured throughput.
+    """
+    scenarios = {}
+    ratios = []
+    for name, after in results.items():
+        entry: dict = {"after": after}
+        if before is not None and name in before:
+            entry["before"] = before[name]
+            ratio = after["events_per_s"] / before[name]["events_per_s"]
+            entry["speedup"] = round(ratio, 3)
+            ratios.append(ratio)
+        entry["floor_events_per_s"] = round(after["events_per_s"] * FLOOR_FRACTION, 1)
+        scenarios[name] = entry
+    document = {
+        "schema": SCHEMA,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": scenarios,
+    }
+    if ratios:
+        document["aggregate_speedup"] = round(geometric_mean(ratios), 3)
+    return document
+
+
+def check(baseline_path: str, repeat: int = 3) -> int:
+    """CI perf smoke: fail if any scenario drops below its floor."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("schema") != SCHEMA:
+        print(f"schema mismatch: {baseline.get('schema')!r} != {SCHEMA!r}")
+        return 1
+    failures = 0
+    for name, entry in baseline["scenarios"].items():
+        if name not in SCENARIOS:
+            print(f"SKIP {name}: unknown scenario in baseline")
+            continue
+        floor = entry["floor_events_per_s"]
+        got = measure(name, repeat=repeat)
+        ok = got["events_per_s"] >= floor
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {name}: "
+            f"{got['events_per_s']:>12,.0f} events/s (floor {floor:,.0f})"
+        )
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N repeats")
+    parser.add_argument("--json", metavar="PATH", help="write raw scenario results as JSON")
+    parser.add_argument(
+        "--before", metavar="PATH", help="raw results of the pre-optimization kernel"
+    )
+    parser.add_argument(
+        "--publish", metavar="PATH", help="write the BENCH_kernel.json document"
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", help="perf-smoke: verify against a published baseline"
+    )
+    parser.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), help="measure a single scenario"
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check(args.check, repeat=args.repeat)
+
+    if args.scenario:
+        results = {args.scenario: measure(args.scenario, repeat=args.repeat)}
+    else:
+        results = run_all(repeat=args.repeat)
+    for name, row in results.items():
+        print(
+            f"{name:>20}: {row['events']:>10,} events in {row['wall_s']:.3f}s "
+            f"= {row['events_per_s']:>12,.0f} events/s"
+        )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.publish:
+        before = None
+        if args.before:
+            with open(args.before, encoding="utf-8") as handle:
+                before = json.load(handle)
+        document = publish(results, before=before)
+        with open(args.publish, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if "aggregate_speedup" in document:
+            print(f"aggregate speedup: {document['aggregate_speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,6 +101,17 @@ class RunMetrics:
         return self.glitches == 0
 
     @property
+    def events_per_second(self) -> float:
+        """Kernel throughput: simulator events per host wall second.
+
+        0.0 when execution accounting was not stamped (e.g. a system
+        run directly rather than through ``run_simulation``).
+        """
+        return (
+            self.events_processed / self.wall_time_s if self.wall_time_s > 0 else 0.0
+        )
+
+    @property
     def scheduling_glitches(self) -> int:
         """Glitches *not* attributed to an injected fault."""
         return self.glitches - self.fault_glitches

@@ -57,10 +57,12 @@ class _ProgressPrinter:
                 )
                 return
             status = "cache" if outcome.cached else f"{outcome.wall_time_s:6.2f}s"
+            rate = getattr(metrics, "events_per_second", 0.0)
+            rate_text = f" ({rate / 1000.0:,.0f}k ev/s)" if rate else ""
             print(
                 f"  [{status}] {outcome.tag or 'run'}: "
                 f"terminals={metrics.terminals} glitches={metrics.glitches} "
-                f"events={events}",
+                f"events={events}{rate_text}",
                 file=self.stream,
             )
 

@@ -66,20 +66,22 @@ class FaultRuntime:
     def fault_began(self, event: FaultEvent) -> None:
         self._active += 1
         self.stats.events_injected += 1
-        self.record(
-            FAULT_START,
-            fault=event.kind,
-            target=event.target,
-            magnitude=event.magnitude,
-            duration_s=event.duration_s,
-        )
+        if self.trace is not None:  # skip building fields when untraced
+            self.record(
+                FAULT_START,
+                fault=event.kind,
+                target=event.target,
+                magnitude=event.magnitude,
+                duration_s=event.duration_s,
+            )
 
     def fault_ended(self, event: FaultEvent) -> None:
         if self._active <= 0:
             raise ValueError("fault_ended() with no active faults")
         self._active -= 1
         self._last_end = self.env.now
-        self.record(FAULT_END, fault=event.kind, target=event.target)
+        if self.trace is not None:
+            self.record(FAULT_END, fault=event.kind, target=event.target)
 
     def attributable(self) -> bool:
         """Whether a glitch starting now should be blamed on a fault."""
@@ -90,9 +92,10 @@ class FaultRuntime:
     # --- degraded-mode accounting (called from the server node) --------
     def note_retry(self, disk_id: int, terminal_id: int, attempt: int) -> None:
         self.stats.retries += 1
-        self.record(
-            FAULT_RETRY, disk=disk_id, terminal=terminal_id, attempt=attempt
-        )
+        if self.trace is not None:
+            self.record(
+                FAULT_RETRY, disk=disk_id, terminal=terminal_id, attempt=attempt
+            )
 
     def note_abandoned(self, disk_id: int, terminal_id: int) -> None:
         self.stats.abandoned_reads += 1

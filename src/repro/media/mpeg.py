@@ -15,6 +15,7 @@ The paper simulates the display of individual MPEG frames:
 from __future__ import annotations
 
 import dataclasses
+from bisect import bisect_right
 
 import numpy as np
 
@@ -104,20 +105,19 @@ class FrameSequence:
         #: ``cumulative[frame_count]`` = total bytes of the video.
         self.cumulative = np.zeros(self.frame_count + 1, dtype=np.int64)
         np.cumsum(self.sizes, out=self.cumulative[1:])
-
-    @property
-    def total_bytes(self) -> int:
-        return int(self.cumulative[-1])
-
-    @property
-    def fps(self) -> float:
-        return self.profile.frames_per_second
+        #: Plain-int mirror of :attr:`cumulative` for scalar lookups —
+        #: ``bisect`` on a list beats ``np.searchsorted`` per call, and
+        #: playback asks one frame at a time, tens of thousands of times
+        #: per simulated minute.  Values are identical.
+        self.cumulative_list: list[int] = self.cumulative.tolist()
+        self.total_bytes: int = self.cumulative_list[-1]
+        self.fps: float = profile.frames_per_second
 
     def frame_of_byte(self, offset: int) -> int:
         """Index of the frame containing byte *offset* (0-based)."""
         if offset < 0 or offset >= self.total_bytes:
             raise ValueError(f"byte offset {offset} outside video of {self.total_bytes}")
-        return int(np.searchsorted(self.cumulative, offset, side="right")) - 1
+        return bisect_right(self.cumulative_list, offset) - 1
 
     def frames_displayable(self, delivered_bytes: int) -> int:
         """How many leading frames are fully displayable.
@@ -126,7 +126,7 @@ class FrameSequence:
         have arrived; returns the count of complete leading frames given
         a contiguous delivered prefix of *delivered_bytes*.
         """
-        return int(np.searchsorted(self.cumulative, delivered_bytes, side="right")) - 1
+        return bisect_right(self.cumulative_list, delivered_bytes) - 1
 
     def first_frames_of_blocks(self, block_size: int) -> np.ndarray:
         """For each block, the first frame whose display needs the block.

@@ -21,8 +21,11 @@ class BlockSchedule:
         self.sequence = sequence
         self.block_size = int(block_size)
         self.block_count = sequence.block_count(block_size)
-        self.first_frame = sequence.first_frames_of_blocks(block_size)
-        self.last_frame = sequence.last_frames_of_blocks(block_size)
+        # Plain lists, not the numpy arrays: playback reads these one
+        # scalar at a time in the per-block hot path, where list
+        # indexing is several times cheaper than numpy scalar indexing.
+        self.first_frame: list[int] = sequence.first_frames_of_blocks(block_size).tolist()
+        self.last_frame: list[int] = sequence.last_frames_of_blocks(block_size).tolist()
 
     def block_bytes(self, block: int) -> int:
         """Actual byte length of block *block* (the last may be short)."""

@@ -128,9 +128,14 @@ class RebuildManager:
                 replica_index,
                 Placement(node, disk_in_node, target_disk, offset),
             )
-            runtime.record(
-                REBUILD_BLOCK, disk=disk, video=video_id, block=block, target=target_disk
-            )
+            if runtime.trace is not None:  # skip building fields when untraced
+                runtime.record(
+                    REBUILD_BLOCK,
+                    disk=disk,
+                    video=video_id,
+                    block=block,
+                    target=target_disk,
+                )
             copied += 1
             moved += 2 * size
             due = started + moved / rate

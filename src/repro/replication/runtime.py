@@ -126,9 +126,10 @@ class ReplicationRuntime:
     # ------------------------------------------------------------------
     def note_failover(self, terminal_id: int, from_disk: int, to_disk: int) -> None:
         self.stats.failover_reads += 1
-        self.record(
-            FAILOVER_READ, terminal=terminal_id, from_disk=from_disk, to_disk=to_disk
-        )
+        if self.trace is not None:  # skip building fields when untraced
+            self.record(
+                FAILOVER_READ, terminal=terminal_id, from_disk=from_disk, to_disk=to_disk
+            )
 
     def record(self, kind: str, **fields) -> None:
         if self.trace is not None:

@@ -73,6 +73,10 @@ class VideoServerNode:
         #: Set by system assembly when the config replicates blocks;
         #: None keeps the single-copy read path bit-identical.
         self.replication: "ReplicationRuntime | None" = None
+        #: Constant CPU portion of the reply path, precomputed once so
+        #: per-request deadline arithmetic stays off the cost tables.
+        costs = cpu_params.costs
+        self._reply_cpu_s = cpu_params.seconds(costs.send_message + costs.receive_message)
         self.stats = NodeStats()
 
     # ------------------------------------------------------------------
@@ -101,9 +105,7 @@ class VideoServerNode:
         The disk access must finish this much before the terminal's
         deadline, so it is subtracted when assigning the disk deadline.
         """
-        costs = self.cpu_params.costs
-        cpu_time = self.cpu_params.seconds(costs.send_message + costs.receive_message)
-        return cpu_time + self.bus.params.transit_time(size)
+        return self._reply_cpu_s + self.bus.params.transit_time(size)
 
     def _service(
         self,
@@ -327,9 +329,7 @@ class VideoServerNode:
                 if placement.node != self.node_id:
                     return
             if self.prefetch_spec.uses_deadlines and base_deadline != NO_DEADLINE:
-                frames_ahead = int(schedule.first_frame[next_block]) - int(
-                    schedule.first_frame[block]
-                )
+                frames_ahead = schedule.first_frame[next_block] - schedule.first_frame[block]
                 estimated = base_deadline + frames_ahead / video.fps
             else:
                 estimated = NO_DEADLINE

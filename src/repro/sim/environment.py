@@ -4,15 +4,13 @@ from __future__ import annotations
 
 import heapq
 import typing
+from heapq import heappop
 
 from repro.sim.errors import SimError, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
-#: Scheduling priorities: URGENT events at the same timestamp are
-#: processed before NORMAL ones.  Used for interrupt delivery.
-URGENT = 0
-NORMAL = 1
+__all__ = ["Environment", "NORMAL", "URGENT"]
 
 
 class Environment:
@@ -23,13 +21,18 @@ class Environment:
     order via a monotonically increasing sequence number.
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "events_processed")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
-        #: Lifetime count of events executed by :meth:`step` — the
-        #: simulator's work measure, read by ``repro.telemetry.runstats``.
+        #: Lifetime count of events executed — the simulator's work
+        #: measure, read by ``repro.telemetry.runstats``.  Inside
+        #: :meth:`run` the count is accumulated in a local and flushed
+        #: when the loop exits (normally or by exception); :meth:`step`
+        #: updates it immediately.
         self.events_processed = 0
 
     @property
@@ -67,7 +70,14 @@ class Environment:
     # Scheduling and the run loop
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Place a triggered event on the queue (kernel internal)."""
+        """Place a triggered event on the queue (kernel internal).
+
+        Hot constructors (``Timeout``, ``Event.succeed``/``fail``, the
+        condition events) inline this push; rare paths (process
+        bootstrap, interrupt delivery) still come through here.  Both
+        produce identical ``(time, priority, seq)`` tuples from the
+        shared counter, so ordering is unaffected by which path is used.
+        """
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
@@ -79,7 +89,7 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, event = heappop(self._queue)
         self._now = when
         self.events_processed += 1
         callbacks = event.callbacks
@@ -121,19 +131,39 @@ class Environment:
                     f"run(until={deadline}) is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if self._queue[0][0] > deadline:
-                self._now = deadline
-                return None
-            try:
-                self.step()
-            except StopSimulation as stop:
-                return stop.value
-            if stop_value:
-                event = stop_value[0]
-                if event.ok:
-                    return event.value
-                raise event.value
+        # The kernel hot loop: step() inlined, with the queue, heappop,
+        # and the event counter bound to locals.  Behaviour is identical
+        # to repeated step() calls; only attribute traffic is saved.
+        # The until-event check is hoisted out of the common (time/None
+        # deadline) loop so it costs nothing per event when unused.
+        queue = self._queue
+        pop = heappop
+        watching = isinstance(until, Event)
+        processed = 0
+        try:
+            while queue:
+                if queue[0][0] > deadline:
+                    self._now = deadline
+                    return None
+                when, _priority, _seq, event = pop(queue)
+                self._now = when
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failed event that nobody handled: surface it.
+                    raise event._value
+                if watching and stop_value:
+                    event = stop_value[0]
+                    if event._ok:
+                        return event.value
+                    raise event._value
+        except StopSimulation as stop:
+            return stop.value
+        finally:
+            self.events_processed += processed
 
         if deadline != float("inf"):
             self._now = deadline

@@ -4,19 +4,39 @@ The kernel follows the design of CSIM (which the paper's simulator used)
 and SimPy: simulated activities are Python generator functions that
 ``yield`` events; the :class:`~repro.sim.environment.Environment` resumes
 them when those events fire.
+
+Hot-path notes: every simulated disk I/O, network transfer, and frame
+consumed bottoms out in a handful of ``Timeout``/``Event`` schedules, so
+this module trades a little indirection for speed — ``__slots__``
+everywhere, heap pushes inlined into the trigger methods instead of
+routed through ``Environment._schedule``, and condition values built
+lazily.  All of it is pinned bit-identical by the golden-digest tests in
+``tests/sim/test_golden_digest.py``.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 from repro.sim.errors import EventLifecycleError
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.environment import Environment
 
+#: Scheduling priorities: URGENT events at the same timestamp are
+#: processed before NORMAL ones.  Used for interrupt delivery.  Defined
+#: here (and re-exported by ``repro.sim.environment``) so the inlined
+#: scheduling below needs no import cycle.
+URGENT = 0
+NORMAL = 1
+
 #: Sentinel for "no value yet".
 _PENDING = object()
+
+#: Sentinel for "triggered, value not materialised yet" (condition
+#: events build their value dicts lazily on first access).
+_UNRESOLVED = object()
 
 
 class Event:
@@ -68,7 +88,9 @@ class Event:
             raise EventLifecycleError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -84,7 +106,9 @@ class Event:
             raise EventLifecycleError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def defuse(self) -> None:
@@ -106,65 +130,122 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # The single hottest constructor in the simulator: every frame
+        # consumed, disk transfer, and think pause makes one.  The
+        # ``Event.__init__`` + ``succeed``-style indirection is inlined
+        # flat; the (time, priority, seq) tuple is identical to what
+        # ``Environment._schedule`` would have pushed.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
 
 
-class AnyOf(Event):
-    """Fires when the first of several events fires.
+class Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`.
 
-    The value is a dict mapping the fired events (so far) to their values.
+    The value dict over the constituent events is *not* built when the
+    condition triggers: most waiters (``yield env.any_of([...])`` racing
+    a grant against a timeout) never look at it.  Triggering records
+    which events to include — membership is decided at trigger time, so
+    semantics match the old eager build exactly — and the dict is
+    materialised on first :attr:`value` access.
     """
+
+    __slots__ = ("_events", "_fired")
 
     def __init__(self, env: "Environment", events: typing.Sequence[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
+        self._fired: list | None = None
+
+    @property
+    def value(self) -> object:
+        if self._value is _UNRESOLVED:
+            self._value = {e: e._value for e in self._fired}
+        if self._value is _PENDING:
+            raise EventLifecycleError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def _trigger(self, fired: list) -> None:
+        """Succeed with the lazily-built dict over *fired*."""
+        self._ok = True
+        self._value = _UNRESOLVED
+        self._fired = fired
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
+
+
+class AnyOf(Condition):
+    """Fires when the first of several events fires.
+
+    The value is a dict mapping the fired events (so far) to their values.
+    An event that was already processed when the condition is composed
+    counts as fired — including a processed *failure*, which fails the
+    condition just as a post-composition failure would.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: typing.Sequence[Event]) -> None:
+        super().__init__(env, events)
         if not self._events:
             self.succeed({})
             return
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:  # already processed: fires now
                 self._on_fire(event)
                 break
             event.callbacks.append(self._on_fire)
 
     def _on_fire(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
-            event.defuse()
-            self.fail(event.value)
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
             return
-        self.succeed({e: e.value for e in self._events if e.processed and e.ok})
+        self._trigger([e for e in self._events if e.callbacks is None and e._ok])
 
 
-class AllOf(Event):
+class AllOf(Condition):
     """Fires when every one of several events has fired.
 
-    The value is a dict mapping each event to its value.
+    The value is a dict mapping each event to its value.  If any
+    constituent fails — even one that was already processed-and-failed
+    when the condition was composed — the condition fails with that
+    exception instead of succeeding.
     """
 
+    __slots__ = ("_remaining",)
+
     def __init__(self, env: "Environment", events: typing.Sequence[Event]) -> None:
-        super().__init__(env)
-        self._events = list(events)
+        super().__init__(env, events)
         self._remaining = 0
         for event in self._events:
-            if not event.processed:
+            if event.callbacks is None:  # already processed
+                if not event._ok:
+                    event._defused = True
+                    self.fail(event._value)
+                    return
+            else:
                 self._remaining += 1
                 event.callbacks.append(self._on_fire)
         if self._remaining == 0:
-            self.succeed({e: e.value for e in self._events})
+            self._trigger(self._events)
 
     def _on_fire(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
-            event.defuse()
-            self.fail(event.value)
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
             return
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed({e: e.value for e in self._events})
+            self._trigger(self._events)

@@ -6,7 +6,7 @@ import types
 import typing
 
 from repro.sim.errors import Interrupt, SimError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, _UNRESOLVED, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.environment import Environment
@@ -79,17 +79,33 @@ class Process(Event):
         self.env._schedule(delivery, priority=0)
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the fired event's outcome."""
+        """Advance the generator with the fired event's outcome.
+
+        Runs once per processed event a process waits on — a kernel hot
+        path — so event state is read through slots (``_ok``/``_value``)
+        rather than properties; only lazily-valued condition events pay
+        the :attr:`Event.value` materialisation.
+        """
+        if self._value is not _PENDING:
+            # The process already finished: the only way a callback can
+            # still reach it is a stale interrupt delivery scheduled in
+            # the same timestep the generator completed.  Dropping it
+            # here keeps concurrent interrupt+finish from throwing into
+            # an exhausted generator.
+            return
         env = self.env
         env._active_process = self
         try:
-            if event.ok:
-                result = self._generator.send(event.value)
+            if event._ok:
+                value = event._value
+                if value is _UNRESOLVED:
+                    value = event.value  # materialise a condition's dict
+                result = self._generator.send(value)
             else:
                 # The exception is being delivered into a process; it is
                 # that process's job to handle or propagate it.
                 event._defused = True
-                result = self._generator.throw(event.value)
+                result = self._generator.throw(event._value)
         except StopIteration as stop:
             env._active_process = None
             self._target = None
@@ -114,11 +130,12 @@ class Process(Event):
             result.callbacks.append(self._resume)
             self._target = result
         else:
-            # Already processed: resume immediately with its final value.
+            # Already processed: resume immediately with its final value
+            # (via the property, which materialises lazy condition dicts).
             immediate = Event(env)
-            immediate._ok = result.ok
-            immediate._value = result._value
-            if not result.ok:
+            immediate._ok = result._ok
+            immediate._value = result.value
+            if not result._ok:
                 immediate._defused = True
             immediate.callbacks.append(self._resume)
             env._schedule(immediate, priority=0)

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-import heapq
 import typing
+from heapq import heappop, heappush
 from collections import deque
 
 from repro.sim.environment import Environment
@@ -34,6 +34,17 @@ class Resource:
         finally:
             cpu.release(req)
     """
+
+    __slots__ = (
+        "env",
+        "capacity",
+        "_in_use",
+        "_waiting",
+        "_seq",
+        "_grants",
+        "_busy_since",
+        "_busy_time",
+    )
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -66,7 +77,7 @@ class Resource:
             self._grant(req)
         else:
             self._seq += 1
-            heapq.heappush(self._waiting, (priority, self._seq, req))
+            heappush(self._waiting, (priority, self._seq, req))
         return req
 
     def release(self, request: Request) -> None:
@@ -78,7 +89,7 @@ class Resource:
             self._busy_time += self.env.now - self._busy_since
             self._busy_since = None
         if self._waiting:
-            _, _, nxt = heapq.heappop(self._waiting)
+            _, _, nxt = heappop(self._waiting)
             self._grant(nxt)
 
     def _grant(self, request: Request) -> None:
@@ -115,6 +126,8 @@ class Store:
     ``put`` never blocks; ``get`` returns an event that fires with the
     oldest item (immediately, if one is available).
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env
@@ -163,6 +176,8 @@ class PriorityStore(Store):
     well).  Used for deadline-ordered prefetch queues.
     """
 
+    __slots__ = ("_heap",)
+
     def __init__(self, env: Environment) -> None:
         super().__init__(env)
         self._heap: list = []
@@ -178,16 +193,16 @@ class PriorityStore(Store):
         if self._getters:
             # Even with waiters, respect ordering against queued items.
             if self._heap and self._heap[0] < item:
-                heapq.heappush(self._heap, item)
-                item = heapq.heappop(self._heap)
+                heappush(self._heap, item)
+                item = heappop(self._heap)
             self._getters.popleft().succeed(item)
         else:
-            heapq.heappush(self._heap, item)
+            heappush(self._heap, item)
 
     def get(self) -> StoreGet:
         event = StoreGet(self.env)
         if self._heap:
-            event.succeed(heapq.heappop(self._heap))
+            event.succeed(heappop(self._heap))
         else:
             self._getters.append(event)
         return event
@@ -204,6 +219,8 @@ class Gate:
     Unlike an :class:`Event`, a gate is reusable — each ``open()``
     releases the current crowd of waiters and re-arms.
     """
+
+    __slots__ = ("env", "_waiters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

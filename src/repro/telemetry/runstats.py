@@ -37,6 +37,13 @@ class RunStopwatch:
         self.wall_time_s = time.perf_counter() - self._started
         self.events_processed = self.env.events_processed - self._events_at_start
 
+    @property
+    def events_per_second(self) -> float:
+        """Kernel throughput over the measured block (0.0 before exit)."""
+        return (
+            self.events_processed / self.wall_time_s if self.wall_time_s > 0 else 0.0
+        )
+
     def stamp(self, metrics: RunMetrics) -> RunMetrics:
         """The metrics with this stopwatch's accounting filled in."""
         return dataclasses.replace(

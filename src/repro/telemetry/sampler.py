@@ -29,6 +29,10 @@ class PeriodicSampler:
         self.interval_s = interval_s
         self.probes = dict(probes)
         self.names = tuple(self.probes)
+        #: Master switch: when False the sampler keeps its cadence but
+        #: polls no probes and appends no rows, so a paused sampler
+        #: costs one timeout per interval and nothing per probe.
+        self.enabled = True
         #: Rows of (time, value-per-probe-in-names-order).
         self.rows: list[tuple] = []
         self._process = env.process(self._run(), name="telemetry-sampler")
@@ -36,10 +40,19 @@ class PeriodicSampler:
     def _run(self):
         env = self.env
         while True:
-            self.rows.append(
-                (env.now,) + tuple(self.probes[name]() for name in self.names)
-            )
+            if self.enabled:
+                self.rows.append(
+                    (env.now,) + tuple(self.probes[name]() for name in self.names)
+                )
             yield env.timeout(self.interval_s)
+
+    def pause(self) -> None:
+        """Stop sampling (the cadence is kept, so resume stays aligned)."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        """Start sampling again after :meth:`pause`."""
+        self.enabled = True
 
     def series(self, name: str) -> list[tuple[float, float]]:
         """The (time, value) series of one probe."""

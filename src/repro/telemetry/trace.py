@@ -44,6 +44,8 @@ class TraceEvent(typing.NamedTuple):
 
 
 class TraceRecorder:
+    __slots__ = ("env", "capacity", "kinds", "enabled", "_events", "counts", "dropped")
+
     def __init__(
         self,
         env: Environment,
@@ -56,18 +58,33 @@ class TraceRecorder:
         self.capacity = capacity
         #: When set, only these event kinds are recorded.
         self.kinds = set(kinds) if kinds is not None else None
+        #: Master switch: when False, :meth:`record` returns immediately.
+        #: Emitting subsystems additionally skip building the field dict
+        #: when no recorder is attached at all, so a simulation that
+        #: never enables tracing pays ~zero per event.
+        self.enabled = True
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.counts: Counter = Counter()
         self.dropped = 0
 
     def record(self, kind: str, **fields) -> None:
-        """Record one event (cheap no-op for filtered kinds)."""
+        """Record one event (cheap no-op when disabled or filtered)."""
+        if not self.enabled:
+            return
         if self.kinds is not None and kind not in self.kinds:
             return
         self.counts[kind] += 1
         if len(self._events) == self.capacity:
             self.dropped += 1
         self._events.append(TraceEvent(self.env.now, kind, fields))
+
+    def pause(self) -> None:
+        """Stop recording (e.g. outside the measurement window)."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        """Start recording again after :meth:`pause`."""
+        self.enabled = True
 
     def __len__(self) -> int:
         return len(self._events)

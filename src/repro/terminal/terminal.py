@@ -60,6 +60,10 @@ class Terminal:
         self.env = env
         self.terminal_id = terminal_id
         self.fabric = fabric
+        # Replica-aware fabrics expose locate_block (routes to the
+        # healthiest copy); plain fabrics fall back to the layout.
+        # Resolved once — the per-block fetch path skips the getattr.
+        self._locate_block = getattr(fabric, "locate_block", None)
         self.access = access
         self.rng = rng
         self.memory_bytes = memory_bytes
@@ -186,7 +190,7 @@ class Terminal:
         self._video = video
         schedule = video.schedule(self.block_size)
         self._schedule = schedule
-        start_byte = int(video.sequence.cumulative[start_frame])
+        start_byte = video.sequence.cumulative_list[start_frame]
         start_block = min(start_byte // self.block_size, schedule.block_count - 1)
         self._delivered = bytearray(schedule.block_count)
         for early in range(start_block):
@@ -232,7 +236,7 @@ class Terminal:
 
             target = displayable
             if self._freed < schedule.block_count:
-                target = min(target, int(schedule.last_frame[self._freed]) + 1)
+                target = min(target, schedule.last_frame[self._freed] + 1)
             if pause_index < len(pauses):
                 # Stop at the next pause point; the branch above takes
                 # the pause once display reaches it.
@@ -294,8 +298,9 @@ class Terminal:
         )
         if edge >= self._video.frame_count:
             return 1
-        first_block = int(sequence.cumulative[edge]) // self.block_size
-        last_block = (int(sequence.cumulative[edge + 1]) - 1) // self.block_size
+        cumulative = sequence.cumulative_list
+        first_block = cumulative[edge] // self.block_size
+        last_block = (cumulative[edge + 1] - 1) // self.block_size
         return last_block - first_block + 1
 
     def _wait_primed(self):
@@ -340,7 +345,7 @@ class Terminal:
         While priming (display stopped), assume display restarts right
         now — a pessimistic but safe deadline.
         """
-        first_frame = int(self._schedule.first_frame[block])
+        first_frame = self._schedule.first_frame[block]
         if self._playing:
             base = self._anchor
         else:
@@ -353,9 +358,7 @@ class Terminal:
         video_id = self._video.video_id
         size = self._schedule.block_bytes(block)
         deadline = self._request_deadline(block)
-        # Replica-aware fabrics expose locate_block (routes to the
-        # healthiest copy); plain fabrics fall back to the layout.
-        locate = getattr(fabric, "locate_block", None)
+        locate = self._locate_block
         if locate is not None:
             placement = locate(video_id, block)
         else:
@@ -425,7 +428,7 @@ class Terminal:
         schedule = self._schedule
         self._epoch += 1
         epoch = self._epoch
-        start_byte = int(self._video.sequence.cumulative[frame])
+        start_byte = self._video.sequence.cumulative_list[frame]
         block = min(start_byte // self.block_size, schedule.block_count - 1)
         self._delivered = bytearray(schedule.block_count)
         self._delivered_total = 0

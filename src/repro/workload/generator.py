@@ -120,49 +120,55 @@ class SessionGenerator:
         admission = system.admission
         arrived = env.now
         self.stats.offered += 1
-        self._record(trace_events.SESSION_ARRIVE, session=session)
+        if self.trace is not None:  # skip building fields when untraced
+            self._record(trace_events.SESSION_ARRIVE, session=session)
 
         # --- bounded wait queue: balk, queue, maybe renege -------------
         if admission.would_queue and admission.queue_length >= spec.queue_limit:
             self.stats.balked += 1
-            self._record(
-                trace_events.SESSION_BALK,
-                session=session,
-                queue_length=admission.queue_length,
-            )
+            if self.trace is not None:
+                self._record(
+                    trace_events.SESSION_BALK,
+                    session=session,
+                    queue_length=admission.queue_length,
+                )
             return None
         slot = admission.request_slot()
         if not slot.triggered:
-            self._record(
-                trace_events.QUEUE_ENTER,
-                session=session,
-                queue_length=admission.queue_length,
-            )
+            if self.trace is not None:
+                self._record(
+                    trace_events.QUEUE_ENTER,
+                    session=session,
+                    queue_length=admission.queue_length,
+                )
             if spec.mean_patience_s > 0:
                 patience = self._patience_rng.exponential(spec.mean_patience_s)
                 yield env.any_of([slot, env.timeout(patience)])
                 if not slot.triggered:
                     admission.cancel(slot)
                     self.stats.reneged += 1
-                    self._record(
-                        trace_events.SESSION_RENEGE,
-                        session=session,
-                        waited_s=env.now - arrived,
-                    )
+                    if self.trace is not None:
+                        self._record(
+                            trace_events.SESSION_RENEGE,
+                            session=session,
+                            waited_s=env.now - arrived,
+                        )
                     return None
             else:
                 yield slot
+            if self.trace is not None:
+                self._record(
+                    trace_events.QUEUE_LEAVE,
+                    session=session,
+                    waited_s=env.now - arrived,
+                )
+        self.stats.admitted += 1
+        if self.trace is not None:
             self._record(
-                trace_events.QUEUE_LEAVE,
+                trace_events.SESSION_ADMIT,
                 session=session,
                 waited_s=env.now - arrived,
             )
-        self.stats.admitted += 1
-        self._record(
-            trace_events.SESSION_ADMIT,
-            session=session,
-            waited_s=env.now - arrived,
-        )
 
         # --- launch: piggyback batching, then a fresh terminal ---------
         video_id = self.popularity.select(env.now)
@@ -183,23 +189,26 @@ class SessionGenerator:
             if not playback.triggered:
                 terminal.abandon()
                 self.stats.abandoned += 1
-                self._record(
-                    trace_events.SESSION_ABANDON,
-                    session=session,
-                    video=video_id,
-                    watched_s=view_for,
-                )
+                if self.trace is not None:
+                    self._record(
+                        trace_events.SESSION_ABANDON,
+                        session=session,
+                        video=video_id,
+                        watched_s=view_for,
+                    )
             else:
                 self.stats.completed += 1
-                self._record(
-                    trace_events.SESSION_COMPLETE, session=session, video=video_id
-                )
+                if self.trace is not None:
+                    self._record(
+                        trace_events.SESSION_COMPLETE, session=session, video=video_id
+                    )
         else:
             yield playback
             self.stats.completed += 1
-            self._record(
-                trace_events.SESSION_COMPLETE, session=session, video=video_id
-            )
+            if self.trace is not None:
+                self._record(
+                    trace_events.SESSION_COMPLETE, session=session, video=video_id
+                )
         system.release_admission()
         return None
 

@@ -1,0 +1,236 @@
+"""Property-based randomized stress tests for the simulation kernel.
+
+Seeded ``random.Random`` (stdlib only — no hypothesis dependency)
+generates random process graphs of timeouts, shared events, process
+waits, and interrupts, then asserts the kernel's structural invariants:
+
+* the clock never goes backwards;
+* ties on (time, priority) fire in insertion-sequence (FIFO) order;
+* every callback of every processed event runs exactly once, and
+  callbacks of never-triggered events never run;
+* ``events_processed`` equals heap pops (pushes minus still-queued).
+
+Any violation prints the offending seed, so failures reproduce exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimError
+
+SEEDS = range(20)
+
+
+class Probe:
+    """Counts invocations of one watched callback and logs the clock."""
+
+    def __init__(self, clock_log: list):
+        self.calls = 0
+        self.clock_log = clock_log
+
+    def __call__(self, event) -> None:
+        self.calls += 1
+        self.clock_log.append(event.env.now)
+
+
+def build_random_graph(env: Environment, rng: random.Random, clock_log: list):
+    """Spawn a random tangle of processes; returns the probed events."""
+    probed: list = []
+    shared = []
+    for _ in range(rng.randint(1, 4)):
+        event = env.event()
+        probe = Probe(clock_log)
+        event.callbacks.append(probe)
+        probed.append((event, probe))
+        shared.append(event)
+    processes = []
+    started: list = []  # only started processes are interrupt targets:
+    # throwing into a generator that never reached its first yield
+    # (kernel semantics) aborts it at the function header.
+
+    def worker(env, stream, my_index):
+        started.append(processes[my_index])
+        for step in range(stream.randint(1, 6)):
+            roll = stream.random()
+            try:
+                if roll < 0.55:
+                    yield env.timeout(round(stream.uniform(0.0, 8.0), 3))
+                elif roll < 0.7:
+                    event = stream.choice(shared)
+                    if not event.triggered:
+                        event.succeed(value=(my_index, step))
+                    yield env.timeout(round(stream.uniform(0.0, 2.0), 3))
+                elif roll < 0.85 and started:
+                    target = stream.choice(started)
+                    if target.is_alive and target is not processes[my_index]:
+                        target.interrupt(cause=my_index)
+                    yield env.timeout(round(stream.uniform(0.0, 2.0), 3))
+                else:
+                    child = env.process(
+                        sleeper(env, round(stream.uniform(0.0, 3.0), 3))
+                    )
+                    yield child
+            except Interrupt:
+                continue
+        return my_index
+
+    def sleeper(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    for index in range(rng.randint(3, 10)):
+        stream = random.Random(rng.getrandbits(64))
+        process = env.process(worker(env, stream, index), name=f"worker-{index}")
+        probe = Probe(clock_log)
+        process.callbacks.append(probe)
+        probed.append((process, probe))
+        processes.append(process)
+
+    # A crowd of probed timeouts at identical timestamps exercises the
+    # (time, priority, seq) tie-break alongside everything else.
+    tie_time = round(rng.uniform(0.0, 5.0), 3)
+    for _ in range(rng.randint(2, 6)):
+        timeout = env.timeout(tie_time)
+        probe = Probe(clock_log)
+        timeout.callbacks.append(probe)
+        probed.append((timeout, probe))
+    return probed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_graph_invariants(seed):
+    rng = random.Random(seed)
+    env = Environment()
+    clock_log: list = []
+    probed = build_random_graph(env, rng, clock_log)
+    env.run()
+
+    # Clock monotonicity, as observed by every watched callback.
+    assert clock_log == sorted(clock_log), f"clock went backwards (seed {seed})"
+
+    # No callback lost or doubled.
+    for event, probe in probed:
+        if event.processed:
+            assert probe.calls == 1, f"callback ran {probe.calls}x (seed {seed})"
+        else:
+            assert probe.calls == 0, f"callback of pending event ran (seed {seed})"
+
+    # Conservation: every push is either popped (counted) or still queued.
+    assert env.events_processed == env._seq - len(env._queue), (
+        f"events_processed {env.events_processed} != pops "
+        f"{env._seq - len(env._queue)} (seed {seed})"
+    )
+    assert env.events_processed > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_same_seed_same_execution(seed):
+    """The randomized graph itself must replay bit-identically."""
+
+    def one_run():
+        rng = random.Random(seed)
+        env = Environment()
+        clock_log: list = []
+        build_random_graph(env, rng, clock_log)
+        env.run()
+        return clock_log, env.now, env.events_processed
+
+    assert one_run() == one_run()
+
+
+def test_fifo_tie_break_order_exhaustive():
+    """Hundreds of same-timestamp timeouts fire strictly in creation order."""
+    env = Environment()
+    fired = []
+    for index in range(300):
+        timeout = env.timeout(1.0)
+        timeout.callbacks.append(lambda event, index=index: fired.append(index))
+    env.run()
+    assert fired == list(range(300))
+
+
+def test_urgent_beats_normal_at_same_timestamp():
+    """Interrupt delivery (URGENT) preempts same-time NORMAL events."""
+    env = Environment()
+    order = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            order.append("interrupt")
+
+    def normal_guy(env):
+        yield env.timeout(1)
+        order.append("normal")
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(normal_guy(env))  # fires at t=1, NORMAL, earlier seq
+    env.process(interrupter(env, victim))
+    env.run()
+    # The interrupter runs after normal_guy (later seq at t=1), but its
+    # URGENT delivery overtakes any NORMAL event scheduled at t=1 later.
+    assert order == ["normal", "interrupt"]
+
+
+def test_events_processed_matches_step_count():
+    """run() and step() agree on the work measure."""
+    def ticking(env):
+        for _ in range(5):
+            yield env.timeout(1)
+
+    env_run = Environment()
+    env_run.process(ticking(env_run))
+    env_run.run()
+
+    env_step = Environment()
+    env_step.process(ticking(env_step))
+    steps = 0
+    while env_step.peek() != float("inf"):
+        env_step.step()
+        steps += 1
+    assert env_run.events_processed == env_step.events_processed == steps
+
+
+def test_concurrent_interrupts_then_finish_do_not_crash():
+    """Two same-timestep interrupts where the first ends the victim:
+    the stale second delivery must be dropped, not thrown into the
+    exhausted generator (regression for the stress-test finding)."""
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(5)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+            return "early"
+
+    def attacker(env, target):
+        yield env.timeout(1)
+        target.interrupt()
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert log == [("interrupted", 1.0)]
+    assert target.processed and target.ok
+    assert target.value == "early"
+
+
+def test_interrupt_finished_process_still_rejected_under_stress():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.5)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimError):
+        process.interrupt()
