@@ -11,7 +11,16 @@ Quickstart::
 """
 
 from repro.bufferpool.registry import ReplacementSpec
-from repro.core import GB, KB, MB, RunMetrics, SpiffiConfig, SpiffiSystem, run_simulation
+from repro.core import (
+    GB,
+    KB,
+    MB,
+    RunMetrics,
+    SpiffiConfig,
+    SpiffiNode,
+    SpiffiSystem,
+    run_simulation,
+)
 from repro.faults.spec import FaultSpec
 from repro.layout.registry import LayoutSpec
 from repro.prefetch import PrefetchSpec
@@ -34,6 +43,7 @@ __all__ = [
     "RunMetrics",
     "SchedulerSpec",
     "SpiffiConfig",
+    "SpiffiNode",
     "SpiffiSystem",
     "run_simulation",
     "__version__",

@@ -28,8 +28,20 @@ from repro.bufferpool.registry import (
     register_replacement,
     replacement_names,
 )
+from repro.cluster import (
+    ClusterConfig,
+    PlacementSpec,
+    RouterSpec,
+    SpiffiCluster,
+    placement_names,
+    register_placement,
+    register_router,
+    router_names,
+    run_cluster,
+)
 from repro.core.config import GB, KB, MB, SpiffiConfig
 from repro.core.metrics import RunMetrics
+from repro.core.node import SpiffiNode
 from repro.core.system import SpiffiSystem, run_simulation
 from repro.experiments.catalog import experiment_names, run_experiment
 from repro.experiments.results import ExperimentResult, RunCache, config_digest
@@ -66,6 +78,7 @@ from repro.workload import (
 __all__ = [
     "AdmissionSpec",
     "ArrivalSpec",
+    "ClusterConfig",
     "ExperimentResult",
     "FaultEvent",
     "FaultSpec",
@@ -74,11 +87,13 @@ __all__ = [
     "LayoutSpec",
     "MB",
     "PauseModel",
+    "PlacementSpec",
     "PrefetchSpec",
     "ProcessExecutor",
     "Quantile",
     "ReplacementSpec",
     "ReplicationSpec",
+    "RouterSpec",
     "RunCache",
     "RunMetrics",
     "Runner",
@@ -87,7 +102,9 @@ __all__ = [
     "SearchResult",
     "SerialExecutor",
     "SloPolicy",
+    "SpiffiCluster",
     "SpiffiConfig",
+    "SpiffiNode",
     "SpiffiSystem",
     "access_model_names",
     "admission_policy_names",
@@ -98,13 +115,18 @@ __all__ = [
     "find_max_rate",
     "find_max_terminals",
     "layout_names",
+    "placement_names",
     "register_access_model",
     "register_admission_policy",
     "register_arrival_process",
     "register_layout",
+    "register_placement",
     "register_replacement",
+    "register_router",
     "register_scheduler",
     "replacement_names",
+    "router_names",
+    "run_cluster",
     "run_experiment",
     "run_grid",
     "run_simulation",

@@ -1,0 +1,53 @@
+"""Multi-node SPIFFI: placement, routing, and cross-node failover.
+
+The paper scales a single SPIFFI server; this package promotes that
+server to a *cluster member* (:class:`~repro.core.node.SpiffiNode`) and
+adds the installation-level layers around it:
+
+* :mod:`~repro.cluster.placement` — which node stores which title
+  (``partitioned`` / ``replicated`` / ``hybrid-hot-replicated``);
+* :mod:`~repro.cluster.routing` — which replica host serves a session
+  (``least-loaded`` / ``consistent-hash`` / ``locality``);
+* :mod:`~repro.cluster.sessions` — the cluster-wide open workload with
+  cross-node failover when a member drops;
+* :mod:`~repro.cluster.system` — N members on one simulation
+  environment, scripted node outages, cluster-wide metrics.
+
+Everything is registry-backed and deterministic, and the degenerate
+1-node closed cluster is bit-identical to the standalone system.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import collect_cluster_metrics
+from repro.cluster.placement import (
+    CatalogPlacement,
+    PlacementSpec,
+    placement_names,
+    register_placement,
+)
+from repro.cluster.routing import (
+    RequestRouter,
+    RouterSpec,
+    register_router,
+    router_names,
+)
+from repro.cluster.sessions import ClusterSessionGenerator, ClusterSessionStats
+from repro.cluster.system import ClusterStats, SpiffiCluster, run_cluster
+
+__all__ = [
+    "CatalogPlacement",
+    "ClusterConfig",
+    "ClusterSessionGenerator",
+    "ClusterSessionStats",
+    "ClusterStats",
+    "PlacementSpec",
+    "RequestRouter",
+    "RouterSpec",
+    "SpiffiCluster",
+    "collect_cluster_metrics",
+    "placement_names",
+    "register_placement",
+    "register_router",
+    "router_names",
+    "run_cluster",
+]

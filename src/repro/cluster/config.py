@@ -1,0 +1,161 @@
+"""Cluster-level configuration: N SPIFFI nodes behind one front end.
+
+``ClusterConfig`` composes a per-node :class:`~repro.core.config.
+SpiffiConfig` (the member hardware and algorithms) with the cluster-only
+choices: member count, catalog placement, request routing, the
+cluster-wide open workload, and scripted node outages.  It deliberately
+mirrors the ``SpiffiConfig`` surface that the experiment machinery
+relies on (``seed``, ``measure_s``, ``replace``, ``describe``) so
+sweeps, the run cache, and :func:`repro.workload.saturation.
+find_max_rate` drive clusters and single systems interchangeably.
+
+A 1-node ``partitioned`` cluster with a closed workload is the
+degenerate case: it builds exactly one :class:`~repro.core.node.
+SpiffiNode` with the member config's own seed and full catalog, and is
+**bit-identical** to running that ``SpiffiConfig`` standalone (pinned
+by the cluster golden-digest test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.placement import PlacementSpec
+from repro.cluster.routing import RouterSpec
+from repro.core.config import SpiffiConfig
+from repro.faults.spec import FaultSpec
+from repro.workload.spec import ArrivalSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """A multi-node SPIFFI installation.
+
+    *node* describes one member (every member is shaped identically;
+    member *i* runs with ``seed + i`` so replicas are statistically
+    identical but not lock-stepped).  The cluster owns the workload:
+    *workload* is the cluster-wide arrival process, routed to members
+    by *routing* within the constraints of *placement*.  *faults* may
+    script **node-level** outages only (``fail_node_ids`` et al.);
+    per-disk and network faults belong on ``node.faults`` as always.
+    """
+
+    node: SpiffiConfig = dataclasses.field(default_factory=SpiffiConfig)
+    nodes: int = 1
+    placement: PlacementSpec = dataclasses.field(default_factory=PlacementSpec)
+    routing: RouterSpec = dataclasses.field(default_factory=RouterSpec)
+    #: Cluster-wide arrival process.  Closed (the default) is only
+    #: meaningful for 1-node clusters, where the member builds its own
+    #: terminal population exactly as a standalone system would.
+    workload: ArrivalSpec = dataclasses.field(default_factory=ArrivalSpec)
+    #: Node-outage script (``fail_node_ids``/``fail_nodes_at_s``/
+    #: ``node_recover_after_s``); disk and network faults are per-node
+    #: concerns and are rejected here.
+    faults: FaultSpec = dataclasses.field(default_factory=FaultSpec)
+    #: Cluster seed; None adopts ``node.seed``.  Member *i* runs with
+    #: ``seed + i``; the cluster session generator draws from the
+    #: ``"cluster-workload"`` child stream of ``seed``.
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.node, SpiffiConfig):
+            raise TypeError(f"node must be a SpiffiConfig, got {self.node!r}")
+        if not isinstance(self.placement, PlacementSpec):
+            raise TypeError(
+                f"placement must be a PlacementSpec, got {self.placement!r}"
+            )
+        if not isinstance(self.routing, RouterSpec):
+            raise TypeError(f"routing must be a RouterSpec, got {self.routing!r}")
+        if not isinstance(self.workload, ArrivalSpec):
+            raise TypeError(
+                f"workload must be an ArrivalSpec, got {self.workload!r}"
+            )
+        if not isinstance(self.faults, FaultSpec):
+            raise TypeError(f"faults must be a FaultSpec, got {self.faults!r}")
+        if self.nodes < 1:
+            raise ValueError(f"need at least one node, got {self.nodes}")
+        if self.seed is None:
+            object.__setattr__(self, "seed", self.node.seed)
+        if self.nodes > 1 and not self.workload.enabled:
+            raise ValueError(
+                "a multi-node cluster needs an open cluster workload "
+                "(workload=ArrivalSpec(process=...)); the closed "
+                "terminal population is a single-node concept"
+            )
+        if self.node.workload.enabled:
+            raise ValueError(
+                "the cluster owns the workload: set ClusterConfig.workload, "
+                "not node.workload"
+            )
+        if self.faults.enabled:
+            raise ValueError(
+                "cluster faults may only script node outages; put disk and "
+                "network fault schedules on node.faults"
+            )
+        bad = [n for n in self.faults.fail_node_ids if n >= self.nodes]
+        if bad:
+            raise ValueError(
+                f"fail_node_ids {bad} out of range for {self.nodes} node(s) "
+                f"(valid: 0..{self.nodes - 1})"
+            )
+        if len(self.faults.fail_node_ids) >= self.nodes:
+            raise ValueError(
+                f"fault spec fails all {self.nodes} node(s); at least one "
+                f"member must survive"
+            )
+        # Build the placement once for validation: bad shapes (e.g. an
+        # oversized hybrid hotset) fail at config time, not run time.
+        self.placement.build(self.nodes, self.node.video_count)
+
+    # --- derived quantities --------------------------------------------
+    @property
+    def catalog_size(self) -> int:
+        """Distinct titles across the whole cluster."""
+        return self.placement.build(self.nodes, self.node.video_count).catalog_size
+
+    @property
+    def measure_s(self) -> float:
+        return self.node.measure_s
+
+    @property
+    def warmup_s(self) -> float:
+        return self.node.warmup_s
+
+    @property
+    def total_sim_time_s(self) -> float:
+        return self.node.total_sim_time_s
+
+    def replace(self, **changes) -> "ClusterConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for reports and the cache."""
+        return (
+            f"{self.nodes}-node cluster, {self.placement.label()} placement, "
+            f"{self.routing.label()} routing, {self.workload.label()}, "
+            f"node: {self.node.describe()}"
+        )
+
+    def label(self) -> str:
+        return f"{self.nodes}n/{self.placement.label()}/{self.routing.label()}"
+
+    def to_cache_dict(self) -> dict:
+        """Canonical dict for the run cache's config digest.
+
+        Namespaced under ``"cluster"`` so no cluster digest can ever
+        collide with a single-system digest of similar shape.
+        """
+        from repro.experiments.results import config_to_dict
+
+        return {
+            "cluster": {
+                "nodes": self.nodes,
+                "seed": self.seed,
+                "placement": dataclasses.asdict(self.placement),
+                "routing": dataclasses.asdict(self.routing),
+                "workload": dataclasses.asdict(self.workload),
+                "faults": dataclasses.asdict(self.faults),
+                "node": config_to_dict(self.node),
+            }
+        }

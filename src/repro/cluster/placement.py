@@ -1,0 +1,185 @@
+"""Catalog placement: which cluster node hosts which title.
+
+A :class:`PlacementSpec` follows the declarative-spec idiom of
+:class:`repro.layout.registry.LayoutSpec`: an immutable value object on
+:class:`~repro.cluster.config.ClusterConfig` naming a registered
+placement scheme.  Building the spec against a node count and the
+per-node catalog capacity yields a :class:`CatalogPlacement` — the pure
+mapping from global title ids to hosting nodes and node-local video
+ids that both the router and the session generator consult.
+
+Built-in schemes:
+
+* ``partitioned`` — every node stores a distinct slice of the catalog
+  (global catalog = nodes x per-node videos); maximum catalog breadth,
+  no cross-node failover possible;
+* ``replicated`` — every node stores the full catalog (global catalog =
+  the per-node capacity); primaries rotate round-robin so load spreads,
+  and any node can serve any title;
+* ``hybrid-hot-replicated`` — the partitioned catalog, with the first
+  ``hot_titles`` titles additionally replicated to every node: hot
+  content survives node outages and spreads load, the long tail keeps
+  the partitioned breadth.
+
+Third-party schemes plug in via :func:`register_placement` without
+touching the cluster assembly, mirroring every other registry in the
+tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+class CatalogPlacement:
+    """The built placement: titles -> hosting nodes -> local video ids.
+
+    *hosts* lists, per global title, the hosting node ids with the
+    **primary first**.  Local video ids are assigned per node in
+    ascending global-title order, so the mapping is a pure function of
+    the placement (no RNG, no construction-order dependence).
+    """
+
+    def __init__(self, nodes: int, hosts: list[tuple[int, ...]]) -> None:
+        if nodes < 1:
+            raise ValueError(f"need at least one node, got {nodes}")
+        self.nodes = nodes
+        self.hosts = hosts
+        self._local: dict[tuple[int, int], int] = {}
+        counts = [0] * nodes
+        for title, node_ids in enumerate(hosts):
+            if not node_ids:
+                raise ValueError(f"title {title} has no hosting node")
+            for node in node_ids:
+                if not 0 <= node < nodes:
+                    raise ValueError(
+                        f"title {title} hosted on node {node}, "
+                        f"outside 0..{nodes - 1}"
+                    )
+                self._local[(title, node)] = counts[node]
+                counts[node] += 1
+        self._local_counts = counts
+
+    @property
+    def catalog_size(self) -> int:
+        """Distinct titles across the whole cluster."""
+        return len(self.hosts)
+
+    def nodes_for(self, title: int) -> tuple[int, ...]:
+        """Hosting node ids for *title*, primary first."""
+        return self.hosts[title]
+
+    def primary(self, title: int) -> int:
+        return self.hosts[title][0]
+
+    def local_id(self, title: int, node: int) -> int:
+        """The node-local video id of *title* on *node*."""
+        try:
+            return self._local[(title, node)]
+        except KeyError:
+            raise ValueError(f"title {title} is not hosted on node {node}") from None
+
+    def local_count(self, node: int) -> int:
+        """Videos stored on *node* (its library size)."""
+        return self._local_counts[node]
+
+    def replication_of(self, title: int) -> int:
+        """Copies of *title* across the cluster."""
+        return len(self.hosts[title])
+
+
+#: ``factory(spec, nodes, videos_per_node) -> CatalogPlacement``
+PlacementFactory = typing.Callable[..., CatalogPlacement]
+
+_REGISTRY: dict[str, PlacementFactory] = {}
+
+
+def register_placement(name: str, factory: PlacementFactory) -> None:
+    """Make *name* selectable via ``PlacementSpec(name)``."""
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"placement name must be a non-empty string, got {name!r}"
+        )
+    _REGISTRY[name] = factory
+
+
+def placement_names() -> tuple[str, ...]:
+    """Every currently registered placement name (registration order)."""
+    return tuple(_REGISTRY)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementSpec:
+    """Which placement scheme the cluster uses, with its parameters."""
+
+    name: str = "partitioned"
+    #: ``hybrid-hot-replicated``: leading titles replicated everywhere.
+    hot_titles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.name not in _REGISTRY:
+            raise ValueError(
+                f"unknown placement {self.name!r}; "
+                f"choose from {placement_names()}"
+            )
+        if self.hot_titles < 0:
+            raise ValueError(f"hot_titles must be >= 0, got {self.hot_titles}")
+        if self.name == "hybrid-hot-replicated" and self.hot_titles == 0:
+            raise ValueError("hybrid-hot-replicated needs hot_titles > 0")
+        if self.name != "hybrid-hot-replicated" and self.hot_titles != 0:
+            raise ValueError(
+                f"placement {self.name!r} takes no hot_titles "
+                f"(got {self.hot_titles})"
+            )
+
+    def build(self, nodes: int, videos_per_node: int) -> CatalogPlacement:
+        """The concrete title->node mapping for this cluster shape."""
+        if videos_per_node < 1:
+            raise ValueError(
+                f"need at least one video per node, got {videos_per_node}"
+            )
+        return _REGISTRY[self.name](self, nodes, videos_per_node)
+
+    def label(self) -> str:
+        if self.hot_titles:
+            return f"{self.name}({self.hot_titles})"
+        return self.name
+
+
+def _partitioned(spec: PlacementSpec, nodes: int, per: int) -> CatalogPlacement:
+    hosts = [(title // per,) for title in range(nodes * per)]
+    return CatalogPlacement(nodes, hosts)
+
+
+def _replicated(spec: PlacementSpec, nodes: int, per: int) -> CatalogPlacement:
+    # Primaries rotate round-robin; the remaining replicas follow
+    # cyclically so every title names every node exactly once.
+    hosts = [
+        tuple((title + shift) % nodes for shift in range(nodes))
+        for title in range(per)
+    ]
+    return CatalogPlacement(nodes, hosts)
+
+
+def _hybrid(spec: PlacementSpec, nodes: int, per: int) -> CatalogPlacement:
+    catalog = nodes * per
+    if spec.hot_titles > catalog:
+        raise ValueError(
+            f"hot_titles {spec.hot_titles} exceeds the {catalog}-title catalog"
+        )
+    hosts: list[tuple[int, ...]] = []
+    for title in range(catalog):
+        primary = title // per
+        if title < spec.hot_titles:
+            hosts.append(
+                tuple((primary + shift) % nodes for shift in range(nodes))
+            )
+        else:
+            hosts.append((primary,))
+    return CatalogPlacement(nodes, hosts)
+
+
+register_placement("partitioned", _partitioned)
+register_placement("replicated", _replicated)
+register_placement("hybrid-hot-replicated", _hybrid)

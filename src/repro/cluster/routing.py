@@ -1,0 +1,162 @@
+"""Front-end request routing: which replica host serves a session.
+
+A :class:`RouterSpec` names a registered routing policy; building it
+against a live :class:`~repro.cluster.system.SpiffiCluster` yields a
+:class:`RequestRouter`.  Routers are consulted once per session (and
+again on every cross-node failover) with a global title id; they pick
+among the title's *available* hosting nodes — placement-constrained,
+health-filtered — and return None when no host survives.
+
+Built-in policies:
+
+* ``least-loaded`` — the healthiest candidate with the fewest active
+  plus queued streams (join-the-shortest-queue across replicas);
+* ``consistent-hash`` — a static hash ring over the member nodes
+  (``virtual_points`` virtual nodes each); a title walks the ring from
+  its own hash to the first hosting candidate, so assignments are
+  sticky under membership churn;
+* ``locality`` — the title's placement primary whenever it is up,
+  falling back to least-loaded among the surviving replicas.
+
+Determinism: routers draw no randomness.  ``consistent-hash`` uses
+SHA-256 (not the per-process-salted builtin ``hash``), and every
+tie-break is by node index, so the session->node assignment is a pure
+function of the config and the simulated history.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.system import SpiffiCluster
+
+#: ``factory(spec, cluster) -> RequestRouter``
+RouterFactory = typing.Callable[..., "RequestRouter"]
+
+_REGISTRY: dict[str, RouterFactory] = {}
+
+
+def register_router(name: str, factory: RouterFactory) -> None:
+    """Make *name* selectable via ``RouterSpec(name)``."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"router name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def router_names() -> tuple[str, ...]:
+    """Every currently registered router name (registration order)."""
+    return tuple(_REGISTRY)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterSpec:
+    """Which routing policy the cluster front end runs."""
+
+    name: str = "least-loaded"
+    #: ``consistent-hash``: virtual nodes per member on the ring.
+    virtual_points: int = 64
+
+    def __post_init__(self) -> None:
+        if self.name not in _REGISTRY:
+            raise ValueError(
+                f"unknown router {self.name!r}; choose from {router_names()}"
+            )
+        if self.virtual_points < 1:
+            raise ValueError(
+                f"virtual_points must be >= 1, got {self.virtual_points}"
+            )
+
+    def build(self, cluster: "SpiffiCluster") -> "RequestRouter":
+        return _REGISTRY[self.name](self, cluster)
+
+    def label(self) -> str:
+        return self.name
+
+
+def _stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash (builtin ``hash`` is salted)."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "little")
+
+
+class RequestRouter:
+    """Base router: placement-constrained, health-filtered candidates."""
+
+    def __init__(self, spec: RouterSpec, cluster: "SpiffiCluster") -> None:
+        self.spec = spec
+        self.cluster = cluster
+
+    def candidates(self, title: int) -> list[int]:
+        """The title's hosting nodes that are currently serviceable."""
+        cluster = self.cluster
+        return [
+            node
+            for node in cluster.placement.nodes_for(title)
+            if cluster.node_available(node)
+        ]
+
+    def _load(self, node: int) -> int:
+        admission = self.cluster.members[node].admission
+        return admission.active + admission.queue_length
+
+    def _least_loaded(self, candidates: list[int]) -> int:
+        health = self.cluster.health
+        return min(
+            candidates, key=lambda node: (health.rank(node), self._load(node), node)
+        )
+
+    def route(self, title: int) -> int | None:
+        """The node to serve *title* now, or None if no host survives."""
+        raise NotImplementedError
+
+
+class LeastLoadedRouter(RequestRouter):
+    def route(self, title: int) -> int | None:
+        candidates = self.candidates(title)
+        if not candidates:
+            return None
+        return self._least_loaded(candidates)
+
+
+class ConsistentHashRouter(RequestRouter):
+    def __init__(self, spec: RouterSpec, cluster: "SpiffiCluster") -> None:
+        super().__init__(spec, cluster)
+        ring = []
+        for node in range(len(cluster.members)):
+            for point in range(spec.virtual_points):
+                ring.append((_stable_hash(f"node-{node}-{point}"), node))
+        ring.sort()
+        self._ring_keys = [key for key, _ in ring]
+        self._ring_nodes = [node for _, node in ring]
+
+    def route(self, title: int) -> int | None:
+        candidates = self.candidates(title)
+        if not candidates:
+            return None
+        eligible = set(candidates)
+        start = bisect.bisect_left(self._ring_keys, _stable_hash(f"title-{title}"))
+        size = len(self._ring_nodes)
+        for step in range(size):
+            node = self._ring_nodes[(start + step) % size]
+            if node in eligible:
+                return node
+        return None  # pragma: no cover - candidates guarantee a hit
+
+
+class LocalityRouter(RequestRouter):
+    def route(self, title: int) -> int | None:
+        candidates = self.candidates(title)
+        if not candidates:
+            return None
+        primary = self.cluster.placement.primary(title)
+        if primary in candidates:
+            return primary
+        return self._least_loaded(candidates)
+
+
+register_router("least-loaded", LeastLoadedRouter)
+register_router("consistent-hash", ConsistentHashRouter)
+register_router("locality", LocalityRouter)

@@ -1,0 +1,255 @@
+"""The cluster session generator: routed arrivals with cross-node
+failover.
+
+A :class:`ClusterSessionGenerator` is the cluster's single front door —
+the multi-node counterpart of :class:`repro.workload.generator.
+SessionGenerator`.  It draws arrivals from the configured process over
+the **global** catalog, asks the :mod:`router <repro.cluster.routing>`
+for a hosting node, and runs each session against that member's own
+admission controller and server fabric:
+
+    arrive → route → (balk | queue → (renege | admit)) →
+    piggyback window → stream → (complete | depart early) → release
+
+The cluster-only clause is **failover**: every wait on a member —
+queueing for admission, streaming a video — also watches that member's
+outage event.  When the node drops (see :meth:`SpiffiCluster.
+_fail_node`), the session releases whatever it held, re-routes among
+the title's surviving replica hosts, and resumes the stream from the
+frame it had reached; a title with no surviving host is *lost*.  The
+customer's viewing budget (``mean_view_duration_s``) is drawn once, at
+first admission, and spans migrations — failing over does not grant
+extra watching time.
+
+Determinism: the generator mirrors the single-node stream discipline
+(``select``/``arrivals``/``patience``/``views`` child streams plus one
+per session) under the dedicated ``"cluster-workload"`` root, the
+router draws nothing, and sessions are simulation processes on the one
+shared environment — so the session→node assignment is a pure function
+of the config (pinned by the router-determinism tests).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.media.access import make_access_model
+from repro.sim.rng import RandomSource
+from repro.terminal.terminal import Terminal
+from repro.workload.generator import SessionStats
+from repro.workload.popularity import RotatingPopularity
+from repro.workload.spec import ArrivalSpec
+from repro.workload.arrivals import make_arrival_process
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.system import SpiffiCluster
+
+
+class ClusterSessionStats(SessionStats):
+    """Single-node session counters plus the cluster-only outcomes."""
+
+    def __init__(self, nodes: int) -> None:
+        self._nodes = nodes
+        super().__init__()
+
+    def reset(self) -> None:
+        super().reset()
+        #: Admissions per member node (one increment per placement,
+        #: failover re-placements included).
+        self.routed = [0] * self._nodes
+        #: Cross-node migrations after a host outage.
+        self.failed_over = 0
+        #: Sessions dropped because no surviving node hosts the title.
+        self.lost = 0
+
+
+class ClusterSessionGenerator:
+    """Routes arriving sessions onto cluster members, with failover."""
+
+    def __init__(
+        self,
+        env,
+        cluster: "SpiffiCluster",
+        spec: ArrivalSpec,
+        rng: RandomSource,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec = spec
+        self.process = make_arrival_process(spec)
+        node_config = cluster.config.node
+        self.popularity = RotatingPopularity(
+            make_access_model(
+                node_config.access_model,
+                cluster.placement.catalog_size,
+                node_config.zipf_skew,
+            ),
+            spec,
+            rng.spawn("select"),
+            rng,
+        )
+        self._arrival_rng = rng.spawn("arrivals")
+        self._patience_rng = rng.spawn("patience")
+        self._view_rng = rng.spawn("views")
+        self._session_rng_root = rng
+        self._sessions = 0
+        self.stats = ClusterSessionStats(len(cluster.members))
+        #: Full routing log: ``(session, title, node)`` per admission,
+        #: in admission order.  Never reset — the determinism tests
+        #: compare whole-run logs across fresh builds.
+        self.assignments: list[tuple[int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Arrival loop (identical thinning discipline to the node generator)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.env.process(self._run(), name="cluster-session-generator")
+
+    def _run(self):
+        env = self.env
+        peak = self.process.peak_rate
+        while True:
+            yield env.timeout(self._arrival_rng.exponential(1.0 / peak))
+            rate = self.process.rate_at(env.now)
+            if rate < peak and self._arrival_rng.uniform() * peak > rate:
+                continue  # Thinned candidate: no arrival at this instant.
+            self._sessions += 1
+            session = self._sessions
+            env.process(self._session(session), name=f"session-{session}")
+
+    # ------------------------------------------------------------------
+    # One customer lifecycle, possibly spanning several nodes
+    # ------------------------------------------------------------------
+    def _session(self, session: int):
+        env = self.env
+        spec = self.spec
+        cluster = self.cluster
+        stats = self.stats
+        arrived = env.now
+        stats.offered += 1
+        title = self.popularity.select(env.now)
+
+        admitted = False
+        view_deadline: float | None = None  # absolute; spans migrations
+        start_frame = 0
+        attempt = 0
+        while True:
+            node_id = cluster.router.route(title)
+            if node_id is None:
+                # No surviving host for this title (partitioned outage).
+                if admitted:
+                    stats.lost += 1
+                    stats.abandoned += 1
+                elif attempt == 0:
+                    stats.balked += 1
+                else:
+                    stats.lost += 1
+                    stats.reneged += 1
+                return None
+            member = cluster.members[node_id]
+            admission = member.admission
+            down = cluster.down_event(node_id)
+
+            # --- bounded wait queue on the routed member ---------------
+            if (
+                attempt == 0
+                and admission.would_queue
+                and admission.queue_length >= spec.queue_limit
+            ):
+                stats.balked += 1
+                return None
+            slot = admission.request_slot()
+            if not slot.triggered:
+                waits = [slot, down]
+                if not admitted and spec.mean_patience_s > 0:
+                    patience = self._patience_rng.exponential(spec.mean_patience_s)
+                    waits.append(env.timeout(patience))
+                yield env.any_of(waits)
+                if not slot.triggered:
+                    admission.cancel(slot)
+                    if down.triggered:
+                        attempt += 1
+                        stats.failed_over += 1
+                        continue  # host died while we queued: re-route
+                    stats.reneged += 1
+                    return None
+                if down.triggered:
+                    # Admitted a slot on a node that just died (e.g. a
+                    # release cascaded to us post-outage): hand it back
+                    # and take the stream elsewhere.
+                    admission.release_slot()
+                    attempt += 1
+                    stats.failed_over += 1
+                    continue
+            if not admitted:
+                admitted = True
+                stats.admitted += 1
+                if spec.mean_view_duration_s > 0:
+                    view_deadline = env.now + self._view_rng.exponential(
+                        spec.mean_view_duration_s
+                    )
+            stats.routed[node_id] += 1
+            self.assignments.append((session, title, node_id))
+
+            # --- launch on the member: piggyback, then a terminal ------
+            local = cluster.placement.local_id(title, node_id)
+            launch = member.request_start(local)
+            if launch is not None:
+                yield launch
+            if view_deadline is not None and env.now >= view_deadline:
+                # The whole budget went to waiting; the customer leaves.
+                admission.release_slot()
+                stats.abandoned += 1
+                return None
+            terminal = self._spawn_terminal(session, attempt, member)
+            # First placement measures startup from arrival (queue time
+            # counts against the SLO); a migration measures the
+            # re-buffering from the moment of failover.
+            terminal.startup_anchor = arrived if attempt == 0 else env.now
+            video = member.library[local]
+            frame = min(start_frame, video.frame_count - 1)
+            playback = env.process(
+                terminal.play(local, frame), name=f"session-{session}-play"
+            )
+
+            # --- stream until done, out of budget, or host death -------
+            waits = [playback, down]
+            if view_deadline is not None:
+                waits.append(env.timeout(view_deadline - env.now))
+            yield env.any_of(waits)
+            if playback.triggered:
+                stats.completed += 1
+                admission.release_slot()
+                return None
+            if view_deadline is not None and env.now >= view_deadline:
+                terminal.abandon()
+                admission.release_slot()
+                stats.abandoned += 1
+                return None
+            # Host outage mid-stream: resume elsewhere from this frame.
+            start_frame = terminal._next_frame
+            terminal.abandon()
+            admission.release_slot()
+            attempt += 1
+            stats.failed_over += 1
+
+    def _spawn_terminal(self, session: int, attempt: int, member) -> Terminal:
+        config = self.cluster.config.node
+        name = f"session-{session}" if attempt == 0 else f"session-{session}-m{attempt}"
+        terminal = Terminal(
+            env=self.env,
+            terminal_id=session,
+            fabric=member,
+            access=member.access,
+            rng=self._session_rng_root.spawn(name),
+            memory_bytes=config.terminal_memory_bytes,
+            pause_model=config.pause_model,
+        )
+        member.adopt_terminal(terminal)
+        # Startup QoS is a cluster-wide account: one monitor sees every
+        # start regardless of which member served it.
+        terminal.qos = self.cluster.qos
+        return terminal
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,203 @@
+"""Assembly and execution of a multi-node SPIFFI cluster.
+
+``SpiffiCluster`` builds N :class:`~repro.core.node.SpiffiNode` members
+onto **one** shared simulation environment, joined by a dedicated
+interconnect :class:`~repro.netsim.bus.NetworkBus` and fronted by the
+placement/routing/session layers of this package.  Cross-node health is
+tracked by reusing :class:`repro.replication.health.HealthMonitor` —
+it is generic over indices, so the same SUSPECT/DOWN ranking that
+routes replica reads around sick disks routes sessions around sick
+members.
+
+Node outages are scripted on ``config.faults`` (``fail_node_ids``,
+``fail_nodes_at_s``, ``node_recover_after_s``).  Failing a member marks
+it DOWN in the health monitor (so the router stops choosing it) and
+fires its outage event (so every session queued on or streaming from it
+wakes and fails over); recovery reverts the health state and arms a
+fresh outage event.  The member's simulation processes are *not*
+killed — like a real front end, the cluster simply stops sending work
+to a dead node and abandons what it was doing there.
+
+The degenerate cluster — one node, closed workload, ``partitioned``
+placement — builds exactly the standalone system on the same seed and
+is bit-identical to it (pinned by the cluster golden-digest test):
+constructing the bus, health monitor, router, and outage events
+schedules no simulation events and draws no randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import collect_cluster_metrics
+from repro.cluster.sessions import ClusterSessionGenerator
+from repro.core.metrics import RunMetrics
+from repro.core.node import SpiffiNode
+from repro.faults.schedule import FaultEvent
+from repro.faults.spec import DISK_OUTAGE
+from repro.netsim.bus import NetworkBus
+from repro.replication.health import HealthMonitor
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.rng import RandomSource
+from repro.workload.qos import QosMonitor
+
+
+class ClusterStats:
+    """Cluster-level counters over the measurement window."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: Node outages applied (scripted fault driver).
+        self.node_outages = 0
+        #: Nodes brought back by the recovery script.
+        self.node_recoveries = 0
+
+
+class SpiffiCluster:
+    """N SPIFFI nodes, one environment, one front door."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        base = config.node
+        self.placement = config.placement.build(config.nodes, base.video_count)
+        # The 1-node closed cluster must be the standalone system: same
+        # member seed, full local catalog, its own terminal population.
+        closed = not config.workload.enabled
+        self.members = [
+            SpiffiNode(
+                base.replace(seed=config.seed + index),
+                env=self.env,
+                local_videos=self.placement.local_count(index),
+                closed_terminals=closed,
+            )
+            for index in range(config.nodes)
+        ]
+        #: Cluster interconnect (control traffic between front end and
+        #: members); sized like the member buses.
+        self.interconnect = NetworkBus(self.env, base.network)
+        #: Member health, reusing the disk-health state machine over
+        #: node indices (rank >= 2 — DOWN or FAILED — is unavailable).
+        self.health = HealthMonitor(
+            self.env, config.nodes, base.replication.suspect_cooldown_s
+        )
+        self._down_events = [Event(self.env) for _ in range(config.nodes)]
+        self.router = config.routing.build(self)
+        self.qos = QosMonitor(config.workload.startup_slo_s)
+        self.stats = ClusterStats()
+        self.workload: ClusterSessionGenerator | None = None
+        if config.workload.enabled:
+            self.workload = ClusterSessionGenerator(
+                self.env,
+                self,
+                config.workload,
+                RandomSource(config.seed).spawn("cluster-workload"),
+            )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Member availability (consulted by the router and sessions)
+    # ------------------------------------------------------------------
+    def node_available(self, index: int) -> bool:
+        """Whether member *index* can take (or keep) sessions."""
+        return self.health.rank(index) < 2  # below DOWN
+
+    def down_event(self, index: int) -> Event:
+        """Fires when member *index* suffers an outage; re-armed on
+        recovery, so capture it per wait, not per session."""
+        return self._down_events[index]
+
+    # ------------------------------------------------------------------
+    # Scripted node outages
+    # ------------------------------------------------------------------
+    def _fault_driver(self):
+        faults = self.config.faults
+        yield self.env.timeout(faults.fail_nodes_at_s)
+        for index in faults.fail_node_ids:
+            self._fail_node(index)
+        if faults.node_recover_after_s > 0:
+            yield self.env.timeout(faults.node_recover_after_s)
+            for index in faults.fail_node_ids:
+                self._recover_node(index)
+
+    def _outage_event(self, index: int) -> FaultEvent:
+        faults = self.config.faults
+        duration = (
+            faults.node_recover_after_s
+            if faults.node_recover_after_s > 0
+            else math.inf
+        )
+        return FaultEvent(
+            start_s=self.env.now,
+            kind=DISK_OUTAGE,  # the health monitor's generic outage kind
+            target=index,
+            duration_s=duration,
+            magnitude=0.0,
+        )
+
+    def _fail_node(self, index: int) -> None:
+        self.stats.node_outages += 1
+        self.health.fault_applied(self._outage_event(index))
+        self._down_events[index].succeed()
+
+    def _recover_node(self, index: int) -> None:
+        self.stats.node_recoveries += 1
+        self.health.fault_reverted(self._outage_event(index))
+        self._down_events[index] = Event(self.env)
+
+    # ------------------------------------------------------------------
+    # Execution (the paper's methodology, cluster-wide)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the workload and the outage script."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        if self.config.faults.node_outages_enabled:
+            self.env.process(self._fault_driver(), name="cluster-faults")
+        if self.workload is not None:
+            self.workload.start()
+            return
+        for member in self.members:
+            member.start()
+
+    def run(self) -> RunMetrics:
+        """Warm up, measure, and collect across every member."""
+        config = self.config
+        self.start()
+        self.env.run(until=config.warmup_s)
+        self.reset_stats()
+        self.env.run(until=config.warmup_s + config.measure_s)
+        return collect_cluster_metrics(self, config.measure_s)
+
+    def reset_stats(self) -> None:
+        """Begin the measurement window: zero every statistic."""
+        for member in self.members:
+            member.reset_stats()
+        self.interconnect.reset_stats()
+        self.qos.reset()
+        self.stats.reset()
+        if self.workload is not None:
+            self.workload.reset_stats()
+
+
+def run_cluster(config: ClusterConfig) -> RunMetrics:
+    """Build and run one cluster; the one-call public entry point.
+
+    Mirrors :func:`repro.core.system.run_simulation`: the returned
+    metrics carry execution accounting (wall time and events processed,
+    covering construction plus the run).
+    """
+    from repro.telemetry.runstats import RunStopwatch
+
+    started = time.perf_counter()
+    cluster = SpiffiCluster(config)
+    with RunStopwatch(cluster.env) as watch:
+        metrics = cluster.run()
+    watch.wall_time_s = time.perf_counter() - started
+    return watch.stamp(metrics)

@@ -2,6 +2,7 @@
 
 from repro.core.config import GB, KB, MB, SpiffiConfig
 from repro.core.metrics import RunMetrics, collect_metrics
+from repro.core.node import ServerFabric, SpiffiNode
 from repro.core.system import SpiffiSystem, run_simulation
 
 __all__ = [
@@ -9,7 +10,9 @@ __all__ = [
     "KB",
     "MB",
     "RunMetrics",
+    "ServerFabric",
     "SpiffiConfig",
+    "SpiffiNode",
     "SpiffiSystem",
     "collect_metrics",
     "run_simulation",

@@ -9,7 +9,6 @@ defaults are the paper's base configuration: 4 processors × 4 disks,
 from __future__ import annotations
 
 import dataclasses
-import warnings
 
 from repro.bufferpool.registry import ReplacementSpec
 from repro.cpu.costs import CpuParameters
@@ -74,9 +73,9 @@ class SpiffiConfig:
     zipf_skew: float = 1.0
     pause_model: PauseModel = dataclasses.field(default_factory=PauseModel)
     piggyback_window_s: float = 0.0
-    #: Accepts an :class:`~repro.server.admission.AdmissionSpec`; plain
-    #: policy-name strings still coerce, with a DeprecationWarning.
-    admission: AdmissionSpec | str = dataclasses.field(default_factory=AdmissionSpec)
+    #: An :class:`~repro.server.admission.AdmissionSpec` naming the
+    #: registered admission policy.
+    admission: AdmissionSpec = dataclasses.field(default_factory=AdmissionSpec)
     #: Open-system workload.  Closed (the paper's fixed terminal
     #: population) by default: no session generator is built, and runs
     #: are bit-identical to a build without the workload subsystem
@@ -87,12 +86,12 @@ class SpiffiConfig:
 
     # --- algorithms -------------------------------------------------------
     stripe_bytes: int = 512 * KB
-    #: Accepts a :class:`~repro.layout.registry.LayoutSpec`; plain name
-    #: strings still coerce, with a :class:`DeprecationWarning`.
-    layout: LayoutSpec | str = dataclasses.field(default_factory=LayoutSpec)
-    #: Accepts a :class:`~repro.bufferpool.registry.ReplacementSpec`;
-    #: plain name strings still coerce, with a DeprecationWarning.
-    replacement_policy: ReplacementSpec | str = dataclasses.field(
+    #: A :class:`~repro.layout.registry.LayoutSpec` naming the
+    #: registered layout.
+    layout: LayoutSpec = dataclasses.field(default_factory=LayoutSpec)
+    #: A :class:`~repro.bufferpool.registry.ReplacementSpec` naming the
+    #: registered replacement policy.
+    replacement_policy: ReplacementSpec = dataclasses.field(
         default_factory=ReplacementSpec
     )
     scheduler: SchedulerSpec = dataclasses.field(default_factory=SchedulerSpec)
@@ -125,47 +124,24 @@ class SpiffiConfig:
     initial_position_fraction: float = 0.9
 
     def __post_init__(self) -> None:
-        # Legacy name strings coerce to specs (spec construction
-        # validates the name against the live registry).
-        if isinstance(self.layout, str):
-            warnings.warn(
-                "passing layout as a string is deprecated; "
-                "use LayoutSpec(name) from repro.layout",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            object.__setattr__(self, "layout", LayoutSpec(self.layout))
-        elif not isinstance(self.layout, LayoutSpec):
+        # Component choices are uniformly spec-valued; the legacy
+        # name-string coercions (deprecated since the registries landed)
+        # are gone.  Spec construction validates the name against the
+        # live registry.
+        if not isinstance(self.layout, LayoutSpec):
             raise TypeError(
-                f"layout must be a LayoutSpec or name string, got {self.layout!r}"
+                f"layout must be a LayoutSpec (name strings are no longer "
+                f"coerced), got {self.layout!r}"
             )
-        if isinstance(self.replacement_policy, str):
-            warnings.warn(
-                "passing replacement_policy as a string is deprecated; "
-                "use ReplacementSpec(name) from repro.bufferpool",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            object.__setattr__(
-                self, "replacement_policy", ReplacementSpec(self.replacement_policy)
-            )
-        elif not isinstance(self.replacement_policy, ReplacementSpec):
+        if not isinstance(self.replacement_policy, ReplacementSpec):
             raise TypeError(
-                f"replacement_policy must be a ReplacementSpec or name string, "
-                f"got {self.replacement_policy!r}"
+                f"replacement_policy must be a ReplacementSpec (name strings "
+                f"are no longer coerced), got {self.replacement_policy!r}"
             )
-        if isinstance(self.admission, str):
-            warnings.warn(
-                "passing admission as a string is deprecated; "
-                "use AdmissionSpec(policy) from repro.server.admission",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            object.__setattr__(self, "admission", AdmissionSpec(self.admission))
-        elif not isinstance(self.admission, AdmissionSpec):
+        if not isinstance(self.admission, AdmissionSpec):
             raise TypeError(
-                f"admission must be an AdmissionSpec or policy name string, "
-                f"got {self.admission!r}"
+                f"admission must be an AdmissionSpec (policy name strings "
+                f"are no longer coerced), got {self.admission!r}"
             )
         if not isinstance(self.workload, ArrivalSpec):
             raise TypeError(
@@ -210,6 +186,15 @@ class SpiffiConfig:
                 f"factor {self.replication.factor} needs "
                 f"{survivors_needed} surviving disk(s) to keep blocks "
                 f"readable"
+            )
+        # Node-level faults (whole-server outages) are a cluster
+        # concept: they live on ClusterConfig.faults, where the cluster
+        # validates them against its member count.
+        if self.faults.fail_node_ids:
+            raise ValueError(
+                "fail_node_ids is a cluster-level fault; put it on "
+                "ClusterConfig.faults (see repro.cluster), not on a "
+                "single node's SpiffiConfig"
             )
         if self.access_model not in access_model_names():
             raise ValueError(

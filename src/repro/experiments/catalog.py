@@ -11,6 +11,7 @@ import typing
 
 from repro.experiments import figures, tables
 from repro.experiments.availability import availability
+from repro.experiments.cluster import cluster
 from repro.experiments.faultsweep import faultsweep
 from repro.experiments.results import ExperimentResult
 from repro.experiments.saturation import saturation
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "faultsweep": faultsweep,
     "availability": availability,
     "saturation": saturation,
+    "cluster": cluster,
 }
 
 

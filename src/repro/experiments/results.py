@@ -98,7 +98,15 @@ def config_to_dict(config: SpiffiConfig) -> dict:
     fault injection / replication existed) serializes, and therefore
     hashes, exactly as it always did.  Cached runs stay valid across
     the API change.
+
+    Cluster configs (anything exposing ``to_cache_dict``, e.g.
+    :class:`repro.cluster.ClusterConfig`) serialize through their own
+    canonical form, namespaced so cluster and single-system digests
+    can never collide.
     """
+    to_cache = getattr(config, "to_cache_dict", None)
+    if to_cache is not None:
+        return to_cache()
     data = dataclasses.asdict(config)
     data["layout"] = config.layout.name
     data["replacement_policy"] = config.replacement_policy.name

@@ -37,6 +37,7 @@ import threading
 import typing
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.cluster import ClusterConfig, run_cluster
 from repro.core.config import SpiffiConfig
 from repro.core.metrics import RunMetrics
 from repro.core.system import run_simulation
@@ -57,7 +58,7 @@ class RunRequest:
     disables the watchdog (the default).
     """
 
-    config: SpiffiConfig
+    config: SpiffiConfig | ClusterConfig
     tag: str = ""
     max_wall_s: float | None = None
 
@@ -73,7 +74,7 @@ class RunOutcome:
     """
 
     tag: str
-    config: SpiffiConfig
+    config: SpiffiConfig | ClusterConfig
     metrics: RunMetrics | None
     wall_time_s: float
     cached: bool = False
@@ -86,7 +87,10 @@ class RunOutcome:
 
 def execute_request(request: RunRequest) -> RunOutcome:
     """Run one request in this process (also the pool worker body)."""
-    metrics = run_simulation(request.config)
+    if isinstance(request.config, ClusterConfig):
+        metrics = run_cluster(request.config)
+    else:
+        metrics = run_simulation(request.config)
     return RunOutcome(
         tag=request.tag,
         config=request.config,

@@ -20,8 +20,11 @@ DISK_SLOW = "disk_slow"
 DISK_OUTAGE = "disk_outage"
 DISK_FAIL = "disk_fail"
 NET_DEGRADE = "net_degrade"
+#: Cluster-level kind: a whole server node drops out (see
+#: :mod:`repro.cluster`; never produced by the per-node schedule).
+NODE_OUTAGE = "node_outage"
 
-FAULT_KINDS = (DISK_SLOW, DISK_OUTAGE, DISK_FAIL, NET_DEGRADE)
+FAULT_KINDS = (DISK_SLOW, DISK_OUTAGE, DISK_FAIL, NET_DEGRADE, NODE_OUTAGE)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +84,18 @@ class FaultSpec:
     #: config time.
     fail_disk_ids: tuple[int, ...] = ()
     fail_at_s: float = 0.0
+
+    # --- cluster-level node outages (see repro.cluster) -----------------
+    #: Cluster member indices that drop out at ``fail_nodes_at_s``; the
+    #: cluster reroutes their sessions to surviving replica hosts.
+    #: Rejected on a single node's :class:`SpiffiConfig` — a node cannot
+    #: out-live itself; only :class:`~repro.cluster.ClusterConfig`
+    #: accepts these fields (validated against its member count).
+    fail_node_ids: tuple[int, ...] = ()
+    fail_nodes_at_s: float = 0.0
+    #: Simulated seconds after the outage until the nodes rejoin
+    #: (0 = the outage is permanent).
+    node_recover_after_s: float = 0.0
 
     # --- network degradation schedule ----------------------------------
     network_fault_rate_per_hour: float = 0.0
@@ -162,22 +177,54 @@ class FaultSpec:
             )
         if self.fail_at_s < 0:
             raise ValueError(f"fail_at_s must be >= 0, got {self.fail_at_s}")
+        if not isinstance(self.fail_node_ids, tuple):
+            object.__setattr__(self, "fail_node_ids", tuple(self.fail_node_ids))
+        for node in self.fail_node_ids:
+            if not isinstance(node, int) or node < 0:
+                raise ValueError(
+                    f"fail_node_ids must be non-negative node indices, "
+                    f"got {self.fail_node_ids!r}"
+                )
+        if len(set(self.fail_node_ids)) != len(self.fail_node_ids):
+            raise ValueError(
+                f"fail_node_ids contains duplicates: {self.fail_node_ids!r}"
+            )
+        if self.fail_nodes_at_s < 0:
+            raise ValueError(
+                f"fail_nodes_at_s must be >= 0, got {self.fail_nodes_at_s}"
+            )
+        if self.node_recover_after_s < 0:
+            raise ValueError(
+                f"node_recover_after_s must be >= 0, "
+                f"got {self.node_recover_after_s}"
+            )
+        if self.node_recover_after_s > 0 and not self.fail_node_ids:
+            raise ValueError(
+                "node_recover_after_s without fail_node_ids: nothing to recover"
+            )
 
     def _total_weight(self) -> float:
         return self.slow_weight + self.outage_weight + self.fail_weight
 
     @property
     def enabled(self) -> bool:
-        """Whether any fault can ever be injected under this spec."""
+        """Whether any *node-internal* fault (disk or network) can ever
+        be injected under this spec.  Node-level outages are driven by
+        the cluster, not the per-node injector, and do not count."""
         return (
             self.disk_fault_rate_per_hour > 0
             or self.network_fault_rate_per_hour > 0
             or bool(self.fail_disk_ids)
         )
 
+    @property
+    def node_outages_enabled(self) -> bool:
+        """Whether the spec scripts cluster-level node outages."""
+        return bool(self.fail_node_ids)
+
     def label(self) -> str:
         """Human-readable summary used in benchmark tables."""
-        if not self.enabled:
+        if not self.enabled and not self.node_outages_enabled:
             return "no faults"
         parts = []
         if self.disk_fault_rate_per_hour > 0:
@@ -186,4 +233,9 @@ class FaultSpec:
             parts.append(f"net {self.network_fault_rate_per_hour:g}/h")
         if self.fail_disk_ids:
             parts.append(f"fail {len(self.fail_disk_ids)} disk(s)")
+        if self.fail_node_ids:
+            text = f"fail {len(self.fail_node_ids)} node(s)"
+            if self.node_recover_after_s > 0:
+                text += f" +recover {self.node_recover_after_s:g}s"
+            parts.append(text)
         return "faults(" + ", ".join(parts) + ")"

@@ -1,0 +1,49 @@
+"""Shared fixtures for the cluster tests: a small, fast 2-node shape."""
+
+from repro.cluster import ClusterConfig, PlacementSpec, RouterSpec
+from repro.core.config import MB, SpiffiConfig
+from repro.workload.spec import ArrivalSpec
+
+
+def small_node(**overrides) -> SpiffiConfig:
+    """One small disk-bound member: 2 disks, 4 videos, short windows."""
+    base = dict(
+        nodes=1,
+        disks_per_node=2,
+        terminals=1,  # ignored when the cluster workload is open
+        videos_per_disk=2,
+        video_length_s=600.0,
+        server_memory_bytes=64 * MB,
+        zipf_skew=0.2,
+        start_spread_s=2.0,
+        warmup_grace_s=4.0,
+        measure_s=60.0,
+        seed=7,
+    )
+    base.update(overrides)
+    return SpiffiConfig(**base)
+
+
+def open_workload(rate_per_s: float = 0.5, **overrides) -> ArrivalSpec:
+    base = dict(
+        process="poisson",
+        rate_per_s=rate_per_s,
+        mean_view_duration_s=30.0,
+        queue_limit=8,
+        mean_patience_s=10.0,
+        startup_slo_s=10.0,
+    )
+    base.update(overrides)
+    return ArrivalSpec(**base)
+
+
+def small_cluster(nodes: int = 2, **overrides) -> ClusterConfig:
+    base = dict(
+        node=small_node(),
+        nodes=nodes,
+        placement=PlacementSpec("replicated"),
+        routing=RouterSpec("least-loaded"),
+        workload=open_workload(),
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)

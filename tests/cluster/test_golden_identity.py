@@ -1,0 +1,63 @@
+"""The degenerate cluster is the standalone system, bit for bit.
+
+A 1-node ``partitioned`` cluster with a closed workload must reproduce
+the single-system golden digests exactly — same metrics digest, same
+event count — under direct execution, the serial executor (``--jobs
+1``), and the process pool (``--jobs 4``).  This is what licenses the
+``SpiffiSystem`` → ``SpiffiNode`` + cluster refactor: the cluster
+wrapper adds no simulation events and draws no randomness.
+"""
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.experiments.results import config_digest
+from repro.experiments.runner import (
+    ProcessExecutor,
+    Runner,
+    RunRequest,
+    SerialExecutor,
+)
+from tests.sim.test_golden_digest import (
+    GOLDEN_CONFIG_DIGEST,
+    GOLDEN_EVENTS_PROCESSED,
+    GOLDEN_METRICS_DIGEST,
+    metrics_digest,
+    midsize_config,
+)
+
+
+def one_node_cluster() -> ClusterConfig:
+    return ClusterConfig(node=midsize_config())
+
+
+def run_with(executor):
+    runner = Runner(executor=executor, cache=None)
+    try:
+        outcome = runner.run_batch([RunRequest(one_node_cluster())])[0]
+    finally:
+        executor.close()
+    assert not outcome.failed, outcome.error
+    return outcome.metrics
+
+
+def test_identity_direct():
+    metrics = run_cluster(one_node_cluster())
+    assert metrics.events_processed == GOLDEN_EVENTS_PROCESSED
+    assert metrics_digest(metrics) == GOLDEN_METRICS_DIGEST
+
+
+def test_identity_jobs_1():
+    metrics = run_with(SerialExecutor())
+    assert metrics.events_processed == GOLDEN_EVENTS_PROCESSED
+    assert metrics_digest(metrics) == GOLDEN_METRICS_DIGEST
+
+
+def test_identity_jobs_4():
+    metrics = run_with(ProcessExecutor(jobs=4))
+    assert metrics.events_processed == GOLDEN_EVENTS_PROCESSED
+    assert metrics_digest(metrics) == GOLDEN_METRICS_DIGEST
+
+
+def test_cluster_config_digest_is_not_the_member_digest():
+    # Identical *results*, distinct cache identity: a cluster run must
+    # never collide with the standalone run in the run cache.
+    assert config_digest(one_node_cluster()) != GOLDEN_CONFIG_DIGEST

@@ -73,27 +73,19 @@ class TestValidation:
 
 
 class TestLegacyStrings:
-    """Bare component names still work, but warn."""
+    """Bare component-name strings no longer coerce: specs only."""
 
-    def test_layout_string_coerces_with_warning(self):
-        with pytest.warns(DeprecationWarning, match="LayoutSpec"):
-            config = SpiffiConfig(layout="nonstriped")
-        assert config.layout == LayoutSpec("nonstriped")
+    def test_layout_string_rejected(self):
+        with pytest.raises(TypeError, match="LayoutSpec"):
+            SpiffiConfig(layout="nonstriped")
 
-    def test_replacement_string_coerces_with_warning(self):
-        with pytest.warns(DeprecationWarning, match="ReplacementSpec"):
-            config = SpiffiConfig(replacement_policy="love_prefetch")
-        assert config.replacement_policy == ReplacementSpec("love_prefetch")
+    def test_replacement_string_rejected(self):
+        with pytest.raises(TypeError, match="ReplacementSpec"):
+            SpiffiConfig(replacement_policy="love_prefetch")
 
-    def test_bad_legacy_string_still_raises(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="striped"):
-                SpiffiConfig(layout="raid5")
-
-    def test_coerced_config_equals_spec_config(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = SpiffiConfig(layout="nonstriped")
-        assert legacy == SpiffiConfig(layout=LayoutSpec("nonstriped"))
+    def test_admission_string_rejected(self):
+        with pytest.raises(TypeError, match="AdmissionSpec"):
+            SpiffiConfig(admission="bandwidth")
 
 
 class TestReplace:

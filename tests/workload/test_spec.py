@@ -159,10 +159,9 @@ class TestConfigWiring:
         with pytest.raises(TypeError):
             SpiffiConfig(workload="poisson")
 
-    def test_legacy_admission_string_coerces_with_warning(self):
-        with pytest.warns(DeprecationWarning):
-            config = SpiffiConfig(admission="fixed")
-        assert config.admission == AdmissionSpec("fixed")
+    def test_legacy_admission_string_rejected(self):
+        with pytest.raises(TypeError, match="AdmissionSpec"):
+            SpiffiConfig(admission="fixed")
 
     def test_admission_type_checked(self):
         with pytest.raises(TypeError):
