@@ -10,8 +10,7 @@ big disks on cost per terminal, even when they lose on cost per Mbyte.
 Run:  python examples/capacity_planning.py           (about a minute)
 """
 
-from repro.api import MB, ReplacementSpec, SpiffiConfig, find_max_terminals
-from repro.experiments import format_table
+from repro.api import MB, ReplacementSpec, SpiffiConfig, find_max_terminals, format_table
 
 #: Candidate servers, all storing the same 8-video library.
 CANDIDATES = (

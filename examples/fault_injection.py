@@ -14,7 +14,7 @@ a capacity experiment can tell hardware pain from queueing pain.
 Run:  python examples/fault_injection.py
 """
 
-from repro.api import FaultSpec, MB, SpiffiConfig, run_simulation
+from repro.api import FaultSpec, MB, SpiffiConfig, run
 
 FAULTS = FaultSpec(
     disk_fault_rate_per_hour=120.0,   # one fault per disk every 30 s
@@ -28,7 +28,7 @@ FAULTS = FaultSpec(
 )
 
 
-def run(faults: FaultSpec):
+def simulate(faults: FaultSpec):
     config = SpiffiConfig(
         nodes=2,
         disks_per_node=2,
@@ -42,12 +42,12 @@ def run(faults: FaultSpec):
         measure_s=60.0,
         seed=42,
     )
-    return run_simulation(config)
+    return run(config)
 
 
 def main() -> None:
-    healthy = run(FaultSpec())
-    faulty = run(FAULTS)
+    healthy = simulate(FaultSpec())
+    faulty = simulate(FAULTS)
 
     print("                          healthy    faulty")
     print(f"glitches                  {healthy.glitches:7d}   {faulty.glitches:7d}")

@@ -10,7 +10,7 @@ pool behaviour, and network bandwidth.
 Run:  python examples/quickstart.py
 """
 
-from repro.api import MB, SpiffiConfig, run_simulation
+from repro.api import MB, SpiffiConfig, run
 
 
 def main() -> None:
@@ -27,7 +27,7 @@ def main() -> None:
         seed=42,
     )
     print(f"Simulating: {config.describe()}")
-    metrics = run_simulation(config)
+    metrics = run(config)
 
     print()
     print(f"glitches               {metrics.glitches}")

@@ -22,7 +22,7 @@ from repro.api import (
     PrefetchSpec,
     ReplicationSpec,
     SpiffiConfig,
-    run_simulation,
+    run,
 )
 
 FAULTS = FaultSpec(
@@ -33,7 +33,7 @@ FAULTS = FaultSpec(
 )
 
 
-def run(layout: str, replication: ReplicationSpec):
+def simulate(layout: str, replication: ReplicationSpec):
     config = SpiffiConfig(
         nodes=2,
         disks_per_node=2,
@@ -53,14 +53,14 @@ def run(layout: str, replication: ReplicationSpec):
         measure_s=60.0,
         seed=42,
     )
-    return run_simulation(config)
+    return run(config)
 
 
 def main() -> None:
     runs = [
-        ("unreplicated", run("striped", ReplicationSpec())),
-        ("mirrored", run("mirrored", ReplicationSpec(factor=2))),
-        ("chained", run("chained", ReplicationSpec(factor=2))),
+        ("unreplicated", simulate("striped", ReplicationSpec())),
+        ("mirrored", simulate("mirrored", ReplicationSpec(factor=2))),
+        ("chained", simulate("chained", ReplicationSpec(factor=2))),
     ]
 
     header = "".join(f"{name:>14}" for name, _ in runs)

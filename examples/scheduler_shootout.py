@@ -17,9 +17,9 @@ from repro.api import (
     ReplacementSpec,
     SchedulerSpec,
     SpiffiConfig,
-    run_simulation,
+    format_table,
+    run,
 )
-from repro.experiments import format_table
 
 #: Load chosen to stress a 2-node / 4-disk server (~30 MB/s of disk).
 TERMINALS = 57
@@ -57,7 +57,7 @@ def main() -> None:
             measure_s=60.0,
             seed=7,
         )
-        metrics = run_simulation(config)
+        metrics = run(config)
         rows.append(
             (
                 label,

@@ -3,11 +3,15 @@ video-on-demand system (Freedman & DeWitt, SIGMOD 1995).
 
 Quickstart::
 
-    from repro import SpiffiConfig, run_simulation
+    from repro import SpiffiConfig, run
 
-    metrics = run_simulation(SpiffiConfig(terminals=40, measure_s=60.0,
-                                          video_length_s=300.0))
+    metrics = run(SpiffiConfig(terminals=40, measure_s=60.0,
+                               video_length_s=300.0))
     print(metrics.summary())
+
+:func:`run` executes any registered config type (standalone, cluster,
+or third-party — see :mod:`repro.api`); ``run_simulation`` remains as
+the type-checked standalone alias.
 """
 
 from repro.bufferpool.registry import ReplacementSpec
@@ -24,6 +28,8 @@ from repro.core import (
 from repro.faults.spec import FaultSpec
 from repro.layout.registry import LayoutSpec
 from repro.prefetch import PrefetchSpec
+from repro.proxy import ProxySpec
+from repro.runnable import run
 from repro.sched import SchedulerSpec
 from repro.terminal import PauseModel
 from repro.workload.spec import ArrivalSpec
@@ -39,12 +45,14 @@ __all__ = [
     "MB",
     "PauseModel",
     "PrefetchSpec",
+    "ProxySpec",
     "ReplacementSpec",
     "RunMetrics",
     "SchedulerSpec",
     "SpiffiConfig",
     "SpiffiNode",
     "SpiffiSystem",
+    "run",
     "run_simulation",
     "__version__",
 ]

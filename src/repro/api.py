@@ -1,12 +1,10 @@
 """The one-stop public API of the SPIFFI reproduction.
 
 Everything a user composes — the config and its component specs, the
-system and single-run entry point, the experiment harness, and the
-plugin registration hooks — importable from one module::
+unified run entry point, the experiment harness, and the plugin
+registration hooks — importable from one module::
 
-    from repro.api import (
-        FaultSpec, LayoutSpec, SchedulerSpec, SpiffiConfig, run_simulation,
-    )
+    from repro.api import FaultSpec, LayoutSpec, SchedulerSpec, SpiffiConfig, run
 
     config = SpiffiConfig(
         terminals=40,
@@ -14,13 +12,18 @@ plugin registration hooks — importable from one module::
         scheduler=SchedulerSpec("elevator"),
         faults=FaultSpec(disk_fault_rate_per_hour=6.0),
     )
-    print(run_simulation(config).summary())
+    print(run(config).summary())
 
-Component selection is uniformly spec-based: each ``*Spec`` names an
-entry in a registry that third-party code extends through the
-``register_*`` functions, so a new scheduler, layout, replacement
-policy, or access model plugs in without touching the assembly code in
-:mod:`repro.core.system`.
+:func:`run` executes *any* runnable config — a standalone
+:class:`SpiffiConfig`, a multi-node :class:`ClusterConfig`, or a
+third-party config type registered via :func:`register_runnable` —
+through one dispatch table; ``run_simulation`` and ``run_cluster``
+survive as type-checked aliases.  Component selection is uniformly
+spec-based: each ``*Spec`` names an entry in a registry that
+third-party code extends through the ``register_*`` functions, so a
+new scheduler, layout, replacement policy, access model, prefix
+policy, or whole config type plugs in without touching the assembly
+code in :mod:`repro.core.system`.
 """
 
 from repro.bufferpool.registry import (
@@ -44,6 +47,7 @@ from repro.core.metrics import RunMetrics
 from repro.core.node import SpiffiNode
 from repro.core.system import SpiffiSystem, run_simulation
 from repro.experiments.catalog import experiment_names, run_experiment
+from repro.experiments.report import format_table
 from repro.experiments.results import ExperimentResult, RunCache, config_digest
 from repro.experiments.runner import (
     ProcessExecutor,
@@ -57,7 +61,18 @@ from repro.faults import FaultEvent, FaultSpec, build_schedule
 from repro.layout.registry import LayoutSpec, layout_names, register_layout
 from repro.media.access import access_model_names, register_access_model
 from repro.prefetch.spec import PrefetchSpec
+from repro.proxy import (
+    ProxySpec,
+    prefix_policy_names,
+    register_prefix_policy,
+)
 from repro.replication import ReplicationSpec
+from repro.runnable import (
+    RunnableConfig,
+    register_runnable,
+    run,
+    runnable_kinds,
+)
 from repro.sched.registry import SchedulerSpec, register_scheduler, scheduler_names
 from repro.server.admission import (
     AdmissionSpec,
@@ -90,12 +105,14 @@ __all__ = [
     "PlacementSpec",
     "PrefetchSpec",
     "ProcessExecutor",
+    "ProxySpec",
     "Quantile",
     "ReplacementSpec",
     "ReplicationSpec",
     "RouterSpec",
     "RunCache",
     "RunMetrics",
+    "RunnableConfig",
     "Runner",
     "SaturationResult",
     "SchedulerSpec",
@@ -114,22 +131,28 @@ __all__ = [
     "experiment_names",
     "find_max_rate",
     "find_max_terminals",
+    "format_table",
     "layout_names",
     "placement_names",
+    "prefix_policy_names",
     "register_access_model",
     "register_admission_policy",
     "register_arrival_process",
     "register_layout",
     "register_placement",
+    "register_prefix_policy",
     "register_replacement",
     "register_router",
+    "register_runnable",
     "register_scheduler",
     "replacement_names",
     "router_names",
+    "run",
     "run_cluster",
     "run_experiment",
     "run_grid",
     "run_simulation",
+    "runnable_kinds",
     "scheduler_names",
     "using_runner",
 ]

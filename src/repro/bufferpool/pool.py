@@ -188,6 +188,29 @@ class BufferPool:
         self.policy.on_insert(page, prefetched=True)
         return page
 
+    def insert_resident(
+        self, key: PageKey, size: int, prefetched: bool = False
+    ) -> Page | None:
+        """Install an already-loaded block without an I/O (pre-loading).
+
+        Used by the proxy tier to stock its pool at construction time:
+        the page is born loaded (no ``io_event``) and unpinned, so no
+        simulation events are created and no callbacks are scheduled —
+        safe before the simulation starts.  Returns None when the block
+        is already resident or the pool is full (pre-loading never
+        evicts).  ``prefetched`` pages count toward the prefetch
+        residency the same way prefetcher-loaded pages do.
+        """
+        if key in self.pages or len(self.pages) >= self.capacity_pages:
+            return None
+        page = Page(key, size)
+        page.loaded_by_prefetch = prefetched
+        self.pages[key] = page
+        if prefetched:
+            self.prefetched_resident += 1
+        self.policy.on_insert(page, prefetched=prefetched)
+        return page
+
     def _join(self, page: Page, terminal_id: int | None) -> tuple[Page, str]:
         """Pin an already-resident (or loading) page."""
         page.pins += 1

@@ -24,6 +24,8 @@ from repro.cluster.placement import PlacementSpec
 from repro.cluster.routing import RouterSpec
 from repro.core.config import SpiffiConfig
 from repro.faults.spec import FaultSpec
+from repro.proxy.spec import ProxySpec, proxy_cache_dict
+from repro.runnable import register_runnable
 from repro.workload.spec import ArrivalSpec
 
 
@@ -52,6 +54,12 @@ class ClusterConfig:
     #: ``node_recover_after_s``); disk and network faults are per-node
     #: concerns and are rejected here.
     faults: FaultSpec = dataclasses.field(default_factory=FaultSpec)
+    #: Cluster-edge proxy tier: one prefix cache at the front door,
+    #: serving startup blocks over the **global** catalog before the
+    #: router is consulted.  Disabled by default; requires an open
+    #: cluster workload (the closed 1-node population never routes
+    #: through the front door).
+    proxy: ProxySpec = dataclasses.field(default_factory=ProxySpec)
     #: Cluster seed; None adopts ``node.seed``.  Member *i* runs with
     #: ``seed + i``; the cluster session generator draws from the
     #: ``"cluster-workload"`` child stream of ``seed``.
@@ -72,6 +80,8 @@ class ClusterConfig:
             )
         if not isinstance(self.faults, FaultSpec):
             raise TypeError(f"faults must be a FaultSpec, got {self.faults!r}")
+        if not isinstance(self.proxy, ProxySpec):
+            raise TypeError(f"proxy must be a ProxySpec, got {self.proxy!r}")
         if self.nodes < 1:
             raise ValueError(f"need at least one node, got {self.nodes}")
         if self.seed is None:
@@ -86,6 +96,23 @@ class ClusterConfig:
             raise ValueError(
                 "the cluster owns the workload: set ClusterConfig.workload, "
                 "not node.workload"
+            )
+        if self.node.proxy.enabled:
+            raise ValueError(
+                "the cluster owns the proxy tier: set ClusterConfig.proxy, "
+                "not node.proxy"
+            )
+        if self.proxy.enabled and not self.workload.enabled:
+            raise ValueError(
+                "a cluster proxy needs an open cluster workload "
+                "(workload=ArrivalSpec(process=...)); closed terminal "
+                "populations stream from their own member, not the front "
+                "door"
+            )
+        if self.proxy.enabled and self.proxy.memory_bytes < self.node.stripe_bytes:
+            raise ValueError(
+                f"proxy memory {self.proxy.memory_bytes} cannot hold even "
+                f"one {self.node.stripe_bytes}-byte block"
             )
         if self.faults.enabled:
             raise ValueError(
@@ -131,31 +158,62 @@ class ClusterConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary for reports and the cache."""
-        return (
+        text = (
             f"{self.nodes}-node cluster, {self.placement.label()} placement, "
             f"{self.routing.label()} routing, {self.workload.label()}, "
-            f"node: {self.node.describe()}"
         )
+        if self.proxy.enabled:
+            text += f"{self.proxy.label()}, "
+        return text + f"node: {self.node.describe()}"
 
     def label(self) -> str:
         return f"{self.nodes}n/{self.placement.label()}/{self.routing.label()}"
 
     def to_cache_dict(self) -> dict:
-        """Canonical dict for the run cache's config digest.
+        """Canonical dict for the run cache's config digest (see
+        :func:`cluster_cache_dict`)."""
+        return cluster_cache_dict(self)
 
-        Namespaced under ``"cluster"`` so no cluster digest can ever
-        collide with a single-system digest of similar shape.
-        """
-        from repro.experiments.results import config_to_dict
 
-        return {
-            "cluster": {
-                "nodes": self.nodes,
-                "seed": self.seed,
-                "placement": dataclasses.asdict(self.placement),
-                "routing": dataclasses.asdict(self.routing),
-                "workload": dataclasses.asdict(self.workload),
-                "faults": dataclasses.asdict(self.faults),
-                "node": config_to_dict(self.node),
-            }
-        }
+def cluster_cache_dict(config: ClusterConfig) -> dict:
+    """Canonical cache form of a :class:`ClusterConfig`.
+
+    Namespaced under ``"cluster"`` so no cluster digest can ever collide
+    with a single-system digest of similar shape.  The embedded
+    ``"schema"`` marker versions *cluster* semantics independently of
+    the global :data:`~repro.experiments.results.CACHE_SCHEMA_VERSION`:
+    bumping it invalidates cached cluster runs without disturbing the
+    (unchanged) standalone entries.  Schema 2 charges front-door routing
+    control messages to the interconnect.  A default (disabled) proxy is
+    omitted, so pre-proxy cluster configs keep their digests.
+    """
+    from repro.core.config import config_cache_dict
+
+    payload = {
+        "schema": 2,
+        "nodes": config.nodes,
+        "seed": config.seed,
+        "placement": dataclasses.asdict(config.placement),
+        "routing": dataclasses.asdict(config.routing),
+        "workload": dataclasses.asdict(config.workload),
+        "faults": dataclasses.asdict(config.faults),
+        "node": config_cache_dict(config.node),
+    }
+    if config.proxy != ProxySpec():
+        payload["proxy"] = proxy_cache_dict(config.proxy)
+    return {"cluster": payload}
+
+
+def _run_cluster_config(config: ClusterConfig):
+    """The registered executor behind ``run(ClusterConfig)``."""
+    from repro.cluster.system import execute_cluster
+
+    return execute_cluster(config)
+
+
+register_runnable(
+    ClusterConfig,
+    kind="cluster",
+    run=_run_cluster_config,
+    cache_dict=cluster_cache_dict,
+)

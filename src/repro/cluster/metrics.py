@@ -85,6 +85,7 @@ def collect_cluster_metrics(
 
     sessions = cluster.workload.stats if cluster.workload is not None else None
     qos = cluster.qos
+    proxy = cluster.proxy_runtime.stats if cluster.proxy_runtime else None
 
     return RunMetrics(
         terminals=len(terminals),
@@ -160,4 +161,9 @@ def collect_cluster_metrics(
         mean_time_to_rebuild_s=(
             rebuild_total / rebuild_count if rebuild_count else 0.0
         ),
+        proxy_requests=proxy.requests if proxy else 0,
+        proxy_hits=proxy.hits if proxy else 0,
+        proxy_misses=proxy.misses if proxy else 0,
+        proxy_served_bytes=proxy.served_bytes if proxy else 0,
+        proxy_origin_bytes=proxy.origin_bytes if proxy else 0,
     )

@@ -149,6 +149,12 @@ class ClusterSessionGenerator:
             member = cluster.members[node_id]
             admission = member.admission
             down = cluster.down_event(node_id)
+            # Front-door control traffic: every placement (failover
+            # re-routes included) sends one routing message over the
+            # interconnect before the member is engaged.
+            yield from cluster.interconnect.transfer(
+                cluster.config.node.control_message_bytes
+            )
 
             # --- bounded wait queue on the routed member ---------------
             if (

@@ -37,7 +37,9 @@ from repro.core.metrics import RunMetrics
 from repro.core.node import SpiffiNode
 from repro.faults.schedule import FaultEvent
 from repro.faults.spec import DISK_OUTAGE
+from repro.media.access import make_access_model
 from repro.netsim.bus import NetworkBus
+from repro.proxy.runtime import ProxyRuntime, ProxyView
 from repro.replication.health import HealthMonitor
 from repro.sim.environment import Environment
 from repro.sim.events import Event
@@ -90,6 +92,11 @@ class SpiffiCluster:
         self.router = config.routing.build(self)
         self.qos = QosMonitor(config.workload.startup_slo_s)
         self.stats = ClusterStats()
+        #: The edge proxy tier: one prefix cache at the front door,
+        #: shared by every member's terminals over the global catalog.
+        self.proxy_runtime: ProxyRuntime | None = None
+        if config.proxy.enabled:
+            self._build_proxy()
         self.workload: ClusterSessionGenerator | None = None
         if config.workload.enabled:
             self.workload = ClusterSessionGenerator(
@@ -99,6 +106,57 @@ class SpiffiCluster:
                 RandomSource(config.seed).spawn("cluster-workload"),
             )
         self._started = False
+
+    def _build_proxy(self) -> None:
+        """Assemble the edge prefix cache over the global catalog.
+
+        Per-title schedules come from the primary member's copy (every
+        replica is byte-identical, so the choice is cosmetic), weights
+        from the same popularity model the session generator selects
+        with.  Every member gets a :class:`ProxyView` translating its
+        local title ids, so terminals spawned on any member consult the
+        one shared front-door cache.  Misses forward over the
+        interconnect; construction draws no randomness and schedules no
+        events.
+        """
+        config = self.config
+        base = config.node
+        catalog = self.placement.catalog_size
+        weights = make_access_model(
+            base.access_model, catalog, base.zipf_skew
+        ).weights()
+        schedules = []
+        for title in range(catalog):
+            primary = self.placement.primary(title)
+            local = self.placement.local_id(title, primary)
+            schedules.append(
+                self.members[primary].library[local].schedule(base.stripe_bytes)
+            )
+        self.proxy_runtime = ProxyRuntime(
+            self.env,
+            config.proxy,
+            schedules=schedules,
+            weights=weights,
+            block_size=base.stripe_bytes,
+            forward_bus=self.interconnect,
+            control_message_bytes=base.control_message_bytes,
+        )
+        for index, member in enumerate(self.members):
+            to_global = [0] * self.placement.local_count(index)
+            for title in range(catalog):
+                if index in self.placement.nodes_for(title):
+                    to_global[self.placement.local_id(title, index)] = title
+            member.proxy = ProxyView(self.proxy_runtime, member, to_global)
+
+    def enable_proxy_tracing(self, capacity: int = 100_000):
+        """Attach a trace recorder to the edge proxy (``proxy.*`` kinds)."""
+        if self.proxy_runtime is None:
+            raise ValueError("config enables no proxy; nothing to trace")
+        from repro.telemetry.trace import TraceRecorder
+
+        recorder = TraceRecorder(self.env, capacity)
+        self.proxy_runtime.trace = recorder
+        return recorder
 
     # ------------------------------------------------------------------
     # Member availability (consulted by the router and sessions)
@@ -182,14 +240,16 @@ class SpiffiCluster:
         self.interconnect.reset_stats()
         self.qos.reset()
         self.stats.reset()
+        if self.proxy_runtime is not None:
+            self.proxy_runtime.reset_stats()
         if self.workload is not None:
             self.workload.reset_stats()
 
 
-def run_cluster(config: ClusterConfig) -> RunMetrics:
-    """Build and run one cluster; the one-call public entry point.
+def execute_cluster(config: ClusterConfig) -> RunMetrics:
+    """The registered executor behind ``run(ClusterConfig)``.
 
-    Mirrors :func:`repro.core.system.run_simulation`: the returned
+    Mirrors :func:`repro.core.system.execute_simulation`: the returned
     metrics carry execution accounting (wall time and events processed,
     covering construction plus the run).
     """
@@ -201,3 +261,20 @@ def run_cluster(config: ClusterConfig) -> RunMetrics:
         metrics = cluster.run()
     watch.wall_time_s = time.perf_counter() - started
     return watch.stamp(metrics)
+
+
+def run_cluster(config: ClusterConfig) -> RunMetrics:
+    """Build and run one cluster.
+
+    A thin type-checked delegate to the unified :func:`repro.api.run`
+    entry point, kept for its historical name.
+    """
+    if not isinstance(config, ClusterConfig):
+        raise TypeError(
+            f"run_cluster takes a ClusterConfig, got "
+            f"{type(config).__name__}; use repro.api.run for other "
+            "config types"
+        )
+    from repro.runnable import run
+
+    return run(config)

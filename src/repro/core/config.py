@@ -21,7 +21,9 @@ from repro.layout.registry import (
 from repro.media.access import access_model_names
 from repro.netsim.bus import NetworkParameters
 from repro.prefetch.spec import PrefetchSpec
+from repro.proxy.spec import ProxySpec, proxy_cache_dict
 from repro.replication.spec import ReplicationSpec
+from repro.runnable import register_runnable
 from repro.sched.registry import SchedulerSpec
 from repro.server.admission import AdmissionSpec
 from repro.storage.drive import DriveParameters
@@ -108,6 +110,13 @@ class SpiffiConfig:
     #: (see :mod:`repro.replication`).
     replication: ReplicationSpec = dataclasses.field(default_factory=ReplicationSpec)
 
+    # --- proxy/edge tier ---------------------------------------------------
+    #: Disabled by default: no proxy node is built, and runs are
+    #: bit-identical to a build without the proxy subsystem (see
+    #: :mod:`repro.proxy`).  When enabled, a prefix-cache proxy sits
+    #: between the terminals and this system's server nodes.
+    proxy: ProxySpec = dataclasses.field(default_factory=ProxySpec)
+
     # --- messaging --------------------------------------------------------
     control_message_bytes: int = 128
 
@@ -152,6 +161,13 @@ class SpiffiConfig:
         if not isinstance(self.replication, ReplicationSpec):
             raise TypeError(
                 f"replication must be a ReplicationSpec, got {self.replication!r}"
+            )
+        if not isinstance(self.proxy, ProxySpec):
+            raise TypeError(f"proxy must be a ProxySpec, got {self.proxy!r}")
+        if self.proxy.enabled and self.proxy.memory_bytes < self.stripe_bytes:
+            raise ValueError(
+                f"proxy memory of {self.proxy.memory_bytes} bytes holds no "
+                f"{self.stripe_bytes}-byte stripe block"
             )
         if self.replication.factor > 1:
             if not layout_supports_replication(self.layout.name):
@@ -258,7 +274,7 @@ class SpiffiConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary for reports."""
-        return (
+        text = (
             f"{self.nodes}x{self.disks_per_node} disks, "
             f"{self.video_count} videos, {self.terminals} terminals, "
             f"stripe {self.stripe_bytes // KB}KB, "
@@ -266,3 +282,55 @@ class SpiffiConfig:
             f"{self.scheduler.label()}, {self.replacement_policy.name}, "
             f"{self.prefetch.label()}, {self.layout.name}"
         )
+        if self.proxy.enabled:
+            text += f", {self.proxy.label()}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# The runnable registration: how a SpiffiConfig executes and hashes
+# ---------------------------------------------------------------------------
+
+def config_cache_dict(config: SpiffiConfig) -> dict:
+    """The full configuration as canonical JSON-serializable values.
+
+    Component specs that carry only a name (layout, replacement policy)
+    serialize as the bare name string, and default (inert) fault,
+    replication, workload, and proxy specs are omitted entirely — so a
+    config expressible before those subsystems existed serializes, and
+    therefore hashes, exactly as it always did.  Cached runs stay valid
+    across every spec-field addition.
+    """
+    data = dataclasses.asdict(config)
+    data["layout"] = config.layout.name
+    data["replacement_policy"] = config.replacement_policy.name
+    if config.faults == FaultSpec():
+        del data["faults"]
+    if config.replication == ReplicationSpec():
+        del data["replication"]
+    if config.workload == ArrivalSpec():
+        del data["workload"]
+    if config.proxy == ProxySpec():
+        del data["proxy"]
+    else:
+        data["proxy"] = proxy_cache_dict(config.proxy)
+    return data
+
+
+def _run_spiffi_config(config: SpiffiConfig):
+    # Lazy: repro.core.system imports this module, so the executor can
+    # only be resolved at call time.
+    from repro.core.system import execute_simulation
+
+    return execute_simulation(config)
+
+
+# Registered here — in the module that *defines* the class — so any
+# interpreter that can unpickle a SpiffiConfig (e.g. a process-pool
+# worker receiving a RunRequest) has the entry as an import side effect.
+register_runnable(
+    SpiffiConfig,
+    kind="system",
+    run=_run_spiffi_config,
+    cache_dict=config_cache_dict,
+)

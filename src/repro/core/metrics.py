@@ -88,6 +88,15 @@ class RunMetrics:
     rebuild_io_bytes: int = 0
     rebuilds_completed: int = 0
     mean_time_to_rebuild_s: float = 0.0
+    # Proxy/edge prefix-cache tier (all zero unless the config enables
+    # a proxy; defaulted for cached-metrics compatibility, and an
+    # all-zero group is dropped from :meth:`deterministic_dict` so
+    # proxy-less digests match the pre-proxy schema exactly).
+    proxy_requests: int = 0
+    proxy_hits: int = 0
+    proxy_misses: int = 0
+    proxy_served_bytes: int = 0
+    proxy_origin_bytes: int = 0
     # Execution accounting (stamped by ``run_simulation`` via
     # ``repro.telemetry.runstats``; zero when a system is run directly).
     # Wall time is host-dependent, so it does not participate in
@@ -134,11 +143,34 @@ class RunMetrics:
             else 0.0
         )
 
+    @property
+    def proxy_hit_rate(self) -> float:
+        """Fraction of proxy requests served from proxy memory."""
+        return self.proxy_hits / self.proxy_requests if self.proxy_requests else 0.0
+
+    #: Field group dropped from :meth:`deterministic_dict` while inert.
+    _PROXY_FIELDS = (
+        "proxy_requests",
+        "proxy_hits",
+        "proxy_misses",
+        "proxy_served_bytes",
+        "proxy_origin_bytes",
+    )
+
     def deterministic_dict(self) -> dict:
         """All fields except host-dependent wall time, for comparing
-        runs across executors, job counts, and submission orders."""
+        runs across executors, job counts, and submission orders.
+
+        Mirroring the config canonicalisation, a field group that is
+        entirely inert (here: the proxy counters of a proxy-less run)
+        is omitted, so digests of pre-existing scenarios survive schema
+        growth unchanged.
+        """
         values = dataclasses.asdict(self)
         values.pop("wall_time_s")
+        if not any(values[field] for field in self._PROXY_FIELDS):
+            for field in self._PROXY_FIELDS:
+                del values[field]
         return values
 
     def summary(self) -> str:
@@ -166,6 +198,11 @@ class RunMetrics:
                 f" failovers={self.failover_reads}"
                 f" rebuilt_blocks={self.rebuild_blocks}"
             )
+        if self.proxy_requests:
+            text += (
+                f" proxy_hit_rate={self.proxy_hit_rate:.2f}"
+                f" proxy_served={self.proxy_served_bytes // MB}MB"
+            )
         return text
 
 
@@ -176,6 +213,8 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
     repl_stats = replication.stats if replication is not None else None
     workload = getattr(system, "workload", None)
     sessions = workload.stats if workload is not None else None
+    proxy = getattr(system, "proxy_runtime", None)
+    proxy_stats = proxy.stats if proxy is not None else None
     qos = getattr(system, "qos", None)
     pools = [node.pool for node in system.nodes]
     drives = [drive for node in system.nodes for drive in node.drives]
@@ -279,4 +318,9 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
             if repl_stats and repl_stats.rebuild_durations.count
             else 0.0
         ),
+        proxy_requests=proxy_stats.requests if proxy_stats else 0,
+        proxy_hits=proxy_stats.hits if proxy_stats else 0,
+        proxy_misses=proxy_stats.misses if proxy_stats else 0,
+        proxy_served_bytes=proxy_stats.served_bytes if proxy_stats else 0,
+        proxy_origin_bytes=proxy_stats.origin_bytes if proxy_stats else 0,
     )

@@ -27,6 +27,7 @@ from repro.media.mpeg import MpegProfile
 from repro.analytic.capacity import StreamParameters
 from repro.netsim.bus import NetworkBus
 from repro.prefetch.prefetcher import DiskPrefetcher
+from repro.proxy.runtime import ProxyRuntime, ProxyView
 from repro.replication.health import HealthMonitor
 from repro.replication.rebuild import RebuildManager
 from repro.replication.runtime import ReplicationRuntime
@@ -243,6 +244,27 @@ class SpiffiNode:
         ).bind(rng.spawn("access"))
         self.qos = QosMonitor(config.workload.startup_slo_s)
 
+        # Proxy tier exists only when the config enables it, so the
+        # default spec leaves the terminal fast path intact: terminals
+        # resolve ``fabric.proxy`` once at construction and a None adds
+        # no events and draws no randomness.  Built before the
+        # terminals, which capture the handle.
+        self.proxy_runtime: ProxyRuntime | None = None
+        self.proxy: ProxyView | None = None
+        if config.proxy.enabled:
+            self.proxy_runtime = ProxyRuntime(
+                self.env,
+                config.proxy,
+                schedules=[
+                    video.schedule(config.stripe_bytes) for video in self.library
+                ],
+                weights=self.access.model.weights(),
+                block_size=config.stripe_bytes,
+                forward_bus=self.bus,
+                control_message_bytes=config.control_message_bytes,
+            )
+            self.proxy = ProxyView(self.proxy_runtime, self)
+
         # Open-system workload: a session generator replaces the fixed
         # terminal population.  Closed (the default) builds the paper's
         # looping terminals and spawns no workload streams at all; a
@@ -320,6 +342,17 @@ class SpiffiNode:
             self.replication.health.trace = recorder
         return recorder
 
+    def enable_proxy_tracing(self, capacity: int = 100_000) -> "TraceRecorder":
+        """Attach a trace recorder to the proxy tier (a proxy must be
+        configured); returns the recorder for inspection after the run."""
+        if self.proxy_runtime is None:
+            raise ValueError("config enables no proxy; nothing to trace")
+        from repro.telemetry.trace import TraceRecorder
+
+        recorder = TraceRecorder(self.env, capacity=capacity)
+        self.proxy_runtime.trace = recorder
+        return recorder
+
     def enable_session_tracing(self, capacity: int = 100_000) -> "TraceRecorder":
         """Attach a trace recorder to the session generator (an open
         workload must be configured); returns the recorder for
@@ -381,6 +414,8 @@ class SpiffiNode:
             self.faults.reset_stats()
         if self.replication is not None:
             self.replication.reset_stats()
+        if self.proxy_runtime is not None:
+            self.proxy_runtime.reset_stats()
 
     # ------------------------------------------------------------------
     # Extra probes used by figures

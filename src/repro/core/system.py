@@ -21,11 +21,17 @@ from repro.core.node import ServerFabric, SpiffiNode
 #: The standalone single-server system (the historical name).
 SpiffiSystem = SpiffiNode
 
-__all__ = ["ServerFabric", "SpiffiNode", "SpiffiSystem", "run_simulation"]
+__all__ = [
+    "ServerFabric",
+    "SpiffiNode",
+    "SpiffiSystem",
+    "execute_simulation",
+    "run_simulation",
+]
 
 
-def run_simulation(config: SpiffiConfig) -> RunMetrics:
-    """Build and run one simulation; the one-call public entry point.
+def execute_simulation(config: SpiffiConfig) -> RunMetrics:
+    """The registered executor behind ``run(SpiffiConfig)``.
 
     The returned metrics carry execution accounting (wall time and
     simulator events processed, covering construction plus the run) so
@@ -39,3 +45,20 @@ def run_simulation(config: SpiffiConfig) -> RunMetrics:
         metrics = system.run()
     watch.wall_time_s = time.perf_counter() - started
     return watch.stamp(metrics)
+
+
+def run_simulation(config: SpiffiConfig) -> RunMetrics:
+    """Build and run one standalone simulation.
+
+    A thin type-checked delegate to the unified :func:`repro.api.run`
+    entry point, kept for its historical name.
+    """
+    if not isinstance(config, SpiffiConfig):
+        raise TypeError(
+            f"run_simulation takes a SpiffiConfig, got "
+            f"{type(config).__name__}; use repro.api.run for other "
+            "config types"
+        )
+    from repro.runnable import run
+
+    return run(config)

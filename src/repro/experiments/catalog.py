@@ -13,6 +13,7 @@ from repro.experiments import figures, tables
 from repro.experiments.availability import availability
 from repro.experiments.cluster import cluster
 from repro.experiments.faultsweep import faultsweep
+from repro.experiments.prefixsweep import prefixsweep
 from repro.experiments.results import ExperimentResult
 from repro.experiments.saturation import saturation
 
@@ -36,6 +37,7 @@ EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "availability": availability,
     "saturation": saturation,
     "cluster": cluster,
+    "prefixsweep": prefixsweep,
 }
 
 

@@ -25,9 +25,7 @@ import typing
 from repro.core.config import SpiffiConfig
 from repro.core.metrics import RunMetrics
 from repro.experiments.report import format_table, results_dir
-from repro.faults.spec import FaultSpec
-from repro.replication.spec import ReplicationSpec
-from repro.workload.spec import ArrivalSpec
+from repro.runnable import runnable_cache_dict
 
 #: Bump when the meaning of cached entries changes (config or metrics
 #: schema, simulator semantics) to invalidate every existing entry.
@@ -88,35 +86,18 @@ class ExperimentResult:
 # Config / metrics serialization primitives
 # ---------------------------------------------------------------------------
 
-def config_to_dict(config: SpiffiConfig) -> dict:
+def config_to_dict(config) -> dict:
     """The full configuration as plain JSON-serializable values.
 
-    The dict is *canonical*: component specs that carry only a name
-    (layout, replacement policy) serialize as the bare name string, and
-    default (inert) fault and replication specs are omitted entirely —
-    so a config expressible before those fields became specs (or before
-    fault injection / replication existed) serializes, and therefore
-    hashes, exactly as it always did.  Cached runs stay valid across
-    the API change.
-
-    Cluster configs (anything exposing ``to_cache_dict``, e.g.
-    :class:`repro.cluster.ClusterConfig`) serialize through their own
-    canonical form, namespaced so cluster and single-system digests
-    can never collide.
+    Delegates to the canonical form each config type declared when it
+    registered with :func:`repro.runnable.register_runnable`: component
+    specs that carry only a name serialize as the bare name string, and
+    default (inert) subsystem specs are omitted entirely — so a config
+    expressible before a subsystem existed serializes, and therefore
+    hashes, exactly as it always did.  Cluster configs namespace their
+    form so cluster and single-system digests can never collide.
     """
-    to_cache = getattr(config, "to_cache_dict", None)
-    if to_cache is not None:
-        return to_cache()
-    data = dataclasses.asdict(config)
-    data["layout"] = config.layout.name
-    data["replacement_policy"] = config.replacement_policy.name
-    if config.faults == FaultSpec():
-        del data["faults"]
-    if config.replication == ReplicationSpec():
-        del data["replication"]
-    if config.workload == ArrivalSpec():
-        del data["workload"]
-    return data
+    return runnable_cache_dict(config)
 
 
 def config_digest(config: SpiffiConfig) -> str:

@@ -3,8 +3,9 @@
 The paper's methodology is thousands of *independent* simulation runs
 (every point of Figs. 9-19 and Tables 2-3 is a max-terminal search of
 many runs; the original authors burned up to 10 hours per 64-disk
-configuration).  Each ``run_simulation(config)`` is pure and
-seed-deterministic, so this module fans runs out across processes
+configuration).  Every config type executes through the unified
+:func:`repro.runnable.run` registry, and each registered run is pure
+and seed-deterministic, so this module fans runs out across processes
 without changing any result:
 
 * :class:`RunRequest` / :class:`RunOutcome` — one simulation in, one
@@ -37,11 +38,10 @@ import threading
 import typing
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.cluster import ClusterConfig, run_cluster
 from repro.core.config import SpiffiConfig
 from repro.core.metrics import RunMetrics
-from repro.core.system import run_simulation
 from repro.experiments.results import RunCache
+from repro.runnable import RunnableConfig, run
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.search import SearchResult
@@ -58,7 +58,7 @@ class RunRequest:
     disables the watchdog (the default).
     """
 
-    config: SpiffiConfig | ClusterConfig
+    config: RunnableConfig
     tag: str = ""
     max_wall_s: float | None = None
 
@@ -74,7 +74,7 @@ class RunOutcome:
     """
 
     tag: str
-    config: SpiffiConfig | ClusterConfig
+    config: RunnableConfig
     metrics: RunMetrics | None
     wall_time_s: float
     cached: bool = False
@@ -86,11 +86,15 @@ class RunOutcome:
 
 
 def execute_request(request: RunRequest) -> RunOutcome:
-    """Run one request in this process (also the pool worker body)."""
-    if isinstance(request.config, ClusterConfig):
-        metrics = run_cluster(request.config)
-    else:
-        metrics = run_simulation(request.config)
+    """Run one request in this process (also the pool worker body).
+
+    Dispatch is the :func:`repro.runnable.run` registry: any config
+    type registered via :func:`repro.api.register_runnable` executes
+    here — in-process or in a pool worker — without this module naming
+    it.  (Workers learn of a type by unpickling its config, which
+    imports its defining module, which registers it.)
+    """
+    metrics = run(request.config)
     return RunOutcome(
         tag=request.tag,
         config=request.config,

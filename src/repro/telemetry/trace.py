@@ -36,6 +36,11 @@ SESSION_ABANDON = "session.abandon"
 QUEUE_ENTER = "queue.enter"
 QUEUE_LEAVE = "queue.leave"
 
+#: Event kinds emitted by the proxy/edge prefix-cache tier.
+PROXY_HIT = "proxy.hit"
+PROXY_MISS = "proxy.miss"
+PROXY_FILL = "proxy.fill"
+
 
 class TraceEvent(typing.NamedTuple):
     time: float

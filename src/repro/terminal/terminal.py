@@ -64,6 +64,9 @@ class Terminal:
         # healthiest copy); plain fabrics fall back to the layout.
         # Resolved once — the per-block fetch path skips the getattr.
         self._locate_block = getattr(fabric, "locate_block", None)
+        # Proxied fabrics expose a prefix-cache proxy serving each
+        # title's head; None (the default) keeps the direct path.
+        self._proxy = getattr(fabric, "proxy", None)
         self.access = access
         self.rng = rng
         self.memory_bytes = memory_bytes
@@ -364,16 +367,28 @@ class Terminal:
         else:
             placement = fabric.layout.locate(video_id, block)
         sent_at = env.now
-        # Control message: terminal → node.
+        # Control message: terminal → server side (origin node, or the
+        # proxy when the block falls inside a title's cached prefix).
         yield from fabric.bus.transfer(fabric.control_message_bytes)
-        done = fabric.node(placement.node).request_block(
-            terminal_id=self.terminal_id,
-            video_id=video_id,
-            block=block,
-            size=size,
-            placement=placement,
-            deadline=deadline,
-        )
+        proxy = self._proxy
+        if proxy is not None and proxy.serves(video_id, block):
+            done = proxy.request_block(
+                terminal_id=self.terminal_id,
+                video_id=video_id,
+                block=block,
+                size=size,
+                placement=placement,
+                deadline=deadline,
+            )
+        else:
+            done = fabric.node(placement.node).request_block(
+                terminal_id=self.terminal_id,
+                video_id=video_id,
+                block=block,
+                size=size,
+                placement=placement,
+                deadline=deadline,
+            )
         yield done
         if self._epoch != epoch:
             return None  # Stale delivery from before a seek; discard.

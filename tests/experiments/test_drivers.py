@@ -2,7 +2,7 @@
 
 These verify driver plumbing (headers, rows, config wiring) without
 running real simulations; the benchmark suite runs them for real.
-The stub replaces ``run_simulation`` underneath the experiment runner,
+The stub replaces the runnable ``run`` dispatch underneath the runner,
 so the real grid declaration, search planner, and executor plumbing
 are all exercised.
 """
@@ -74,7 +74,7 @@ def stubbed(monkeypatch):
         glitches = 0 if config.terminals <= fake_capacity(config) else config.terminals
         return fake_metrics(config, glitches=glitches)
 
-    monkeypatch.setattr(runner_module, "run_simulation", fake_run)
+    monkeypatch.setattr(runner_module, "run", fake_run)
     monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
     return fake_run
 

@@ -8,7 +8,6 @@ sweep drivers report the casualties only after the survivors finish.
 import pytest
 
 import repro.experiments.runner as runner_module
-from repro.core.config import MB, SpiffiConfig
 from repro.experiments.results import RunCache
 from repro.experiments.runner import (
     ProcessExecutor,
@@ -23,7 +22,7 @@ from tests.experiments.test_runner import example_metrics, tiny_config
 
 #: A request whose "config" explodes inside any worker: the frozen
 #: dataclass is only validated at construction, so a bogus payload
-#: rides through pickling and crashes ``run_simulation``.
+#: rides through pickling and crashes the runnable dispatch.
 POISON = RunRequest(config="not a config", tag="poison")
 
 
@@ -33,7 +32,7 @@ class TestSerialExecutorContainment:
         assert outcome.failed
         assert outcome.metrics is None
         assert outcome.tag == "poison"
-        assert "AttributeError" in outcome.error
+        assert "TypeError" in outcome.error
 
     def test_crash_keeps_siblings(self):
         outcomes = SerialExecutor().run_batch(
@@ -52,7 +51,7 @@ class TestSerialExecutorContainment:
                 raise RuntimeError("transient")
             return example_metrics()
 
-        monkeypatch.setattr(runner_module, "run_simulation", flaky)
+        monkeypatch.setattr(runner_module, "run", flaky)
         outcome = SerialExecutor().run_batch([RunRequest(tiny_config())])[0]
         assert not outcome.failed
         assert len(attempts) == 2
@@ -64,7 +63,7 @@ class TestSerialExecutorContainment:
             attempts.append(config)
             raise RuntimeError("still broken")
 
-        monkeypatch.setattr(runner_module, "run_simulation", broken)
+        monkeypatch.setattr(runner_module, "run", broken)
         outcome = SerialExecutor().run_batch([RunRequest(tiny_config())])[0]
         assert outcome.failed
         assert "still broken" in outcome.error
@@ -106,7 +105,7 @@ class TestRunnerAndDrivers:
         def broken(config):
             raise RuntimeError("doomed")
 
-        monkeypatch.setattr(runner_module, "run_simulation", broken)
+        monkeypatch.setattr(runner_module, "run", broken)
         config = tiny_config()
         cache = RunCache(str(tmp_path / "cache"))
         runner = Runner(SerialExecutor(), cache=cache)
@@ -127,7 +126,7 @@ class TestRunnerAndDrivers:
         def broken(config):
             raise RuntimeError("probe exploded")
 
-        monkeypatch.setattr(runner_module, "run_simulation", broken)
+        monkeypatch.setattr(runner_module, "run", broken)
         with pytest.raises(RuntimeError, match="probe exploded"):
             find_max_terminals(
                 tiny_config(), hint=4, granularity=2, low=2, high=8,

@@ -162,7 +162,7 @@ class TestRunCache:
                 terminals=config.terminals, glitches=0, wall_time_s=0.5
             )
 
-        monkeypatch.setattr(runner_module, "run_simulation", fake_run)
+        monkeypatch.setattr(runner_module, "run", fake_run)
         return calls
 
     def test_second_batch_is_all_cache_hits(self, tmp_path, monkeypatch):
@@ -324,7 +324,7 @@ class TestGridHelpers:
         def fake_run(config):
             return example_metrics(terminals=config.terminals)
 
-        monkeypatch.setattr(runner_module, "run_simulation", fake_run)
+        monkeypatch.setattr(runner_module, "run", fake_run)
         metrics = run_grid([
             ("a", tiny_config(terminals=3)),
             ("b", tiny_config(terminals=5)),
@@ -340,7 +340,7 @@ class TestGridHelpers:
             glitches = 0 if config.terminals <= capacity else 3
             return example_metrics(terminals=config.terminals, glitches=glitches)
 
-        monkeypatch.setattr(runner_module, "run_simulation", fake_run)
+        monkeypatch.setattr(runner_module, "run", fake_run)
         cells = [
             SearchCell("z1", tiny_config(), hint=150, granularity=10),
             SearchCell("z2", tiny_config(zipf_skew=1.5), hint=150, granularity=10),

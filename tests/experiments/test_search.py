@@ -31,7 +31,7 @@ class Oracle:
 @pytest.fixture()
 def patch_runner(monkeypatch):
     def apply(oracle):
-        monkeypatch.setattr(runner_module, "run_simulation", oracle)
+        monkeypatch.setattr(runner_module, "run", oracle)
         return oracle
     return apply
 

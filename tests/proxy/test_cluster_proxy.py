@@ -1,0 +1,132 @@
+"""The edge proxy in front of a cluster: global-catalog pre-load,
+local-id translation, interconnect miss traffic, and config guards."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, SpiffiCluster, run_cluster
+from repro.cluster.placement import PlacementSpec
+from repro.core.config import MB, SpiffiConfig
+from repro.proxy import ProxySpec
+from repro.workload import ArrivalSpec
+
+
+def member(**overrides):
+    defaults = dict(
+        nodes=1,
+        disks_per_node=2,
+        terminals=1,  # ignored: the cluster workload is open
+        videos_per_disk=2,
+        video_length_s=600.0,
+        server_memory_bytes=64 * MB,
+        start_spread_s=2.0,
+        warmup_grace_s=4.0,
+        measure_s=30.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SpiffiConfig(**defaults)
+
+
+def workload(rate_per_s=0.5):
+    return ArrivalSpec(
+        process="poisson",
+        rate_per_s=rate_per_s,
+        mean_view_duration_s=20.0,
+    )
+
+
+def cluster_config(**overrides):
+    defaults = dict(
+        node=member(),
+        nodes=2,
+        workload=workload(),
+        proxy=ProxySpec(prefix_s=10.0, memory_bytes=24 * MB),
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestConfigGuards:
+    def test_cluster_proxy_needs_an_open_workload(self):
+        with pytest.raises(ValueError, match="open cluster workload"):
+            ClusterConfig(
+                node=member(),
+                proxy=ProxySpec(prefix_s=10.0, memory_bytes=24 * MB),
+            )
+
+    def test_member_proxy_is_rejected(self):
+        with pytest.raises(ValueError, match="cluster owns the proxy"):
+            ClusterConfig(
+                node=member(
+                    proxy=ProxySpec(prefix_s=10.0, memory_bytes=24 * MB)
+                ),
+                nodes=2,
+                workload=workload(),
+            )
+
+    def test_proxy_must_be_a_spec(self):
+        with pytest.raises(TypeError, match="ProxySpec"):
+            ClusterConfig(node=member(), proxy="edge")
+
+    def test_enabled_proxy_shows_in_describe_and_digest(self):
+        from repro.experiments.results import config_digest
+
+        proxied = cluster_config()
+        plain = cluster_config(proxy=ProxySpec())
+        assert "proxy" in proxied.describe()
+        assert config_digest(proxied) != config_digest(plain)
+
+
+class TestEdgeProxy:
+    def test_preload_spans_the_global_catalog(self):
+        cluster = SpiffiCluster(cluster_config())
+        runtime = cluster.proxy_runtime
+        assert runtime is not None
+        assert len(runtime.prefix_blocks) == cluster.placement.catalog_size
+        assert all(member.proxy is not None for member in cluster.members)
+
+    def test_views_translate_local_ids_to_global(self):
+        cluster = SpiffiCluster(cluster_config())
+        placement = cluster.placement
+        for title in range(placement.catalog_size):
+            node = placement.primary(title)
+            local = placement.local_id(title, node)
+            view = cluster.members[node].proxy
+            assert view.serves(local, 0) == cluster.proxy_runtime.serves(title, 0)
+
+    def test_cluster_metrics_carry_proxy_counters(self):
+        metrics = run_cluster(cluster_config())
+        assert metrics.proxy_requests > 0
+        assert metrics.proxy_hits + metrics.proxy_misses == metrics.proxy_requests
+
+    def test_replicated_placement_shares_one_cache(self):
+        metrics = run_cluster(
+            cluster_config(placement=PlacementSpec("replicated"))
+        )
+        assert metrics.proxy_requests > 0
+
+    def test_cluster_proxy_runs_are_deterministic(self):
+        config = cluster_config()
+        first = run_cluster(config)
+        second = run_cluster(config)
+        assert first.deterministic_dict() == second.deterministic_dict()
+
+
+class TestInterconnectControlTraffic:
+    def test_front_door_routing_is_charged_to_the_interconnect(self):
+        # Even without a proxy, every routed session costs the bus one
+        # control message, so an open cluster's interconnect is busy.
+        cluster = SpiffiCluster(cluster_config(proxy=ProxySpec()))
+        cluster.run()
+        assert cluster.interconnect.mean_bandwidth() > 0.0
+
+    def test_proxy_misses_forward_over_the_interconnect(self):
+        # A one-block proxy cache over a 10 s prefix: nearly every
+        # proxy request misses and must cross the interconnect.
+        tight = cluster_config(
+            proxy=ProxySpec(prefix_s=10.0, memory_bytes=512 * 1024)
+        )
+        cluster = SpiffiCluster(tight)
+        cluster.run()
+        assert cluster.proxy_runtime.stats.misses > 0
+        assert cluster.interconnect.mean_bandwidth() > 0.0
