@@ -35,6 +35,7 @@ from repro.cluster import (
     ClusterConfig,
     PlacementSpec,
     RouterSpec,
+    SelfHealSpec,
     SpiffiCluster,
     placement_names,
     register_placement,
@@ -117,6 +118,7 @@ __all__ = [
     "SaturationResult",
     "SchedulerSpec",
     "SearchResult",
+    "SelfHealSpec",
     "SerialExecutor",
     "SloPolicy",
     "SpiffiCluster",

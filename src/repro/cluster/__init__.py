@@ -10,6 +10,9 @@ adds the installation-level layers around it:
   (``least-loaded`` / ``consistent-hash`` / ``locality``);
 * :mod:`~repro.cluster.sessions` — the cluster-wide open workload with
   cross-node failover when a member drops;
+* :mod:`~repro.cluster.selfheal` / :mod:`~repro.cluster.rebuild` — the
+  self-healing layer: catalog re-replication onto survivors, node
+  rejoin resync, and placement-aware (spill) admission;
 * :mod:`~repro.cluster.system` — N members on one simulation
   environment, scripted node outages, cluster-wide metrics.
 
@@ -25,24 +28,29 @@ from repro.cluster.placement import (
     placement_names,
     register_placement,
 )
+from repro.cluster.rebuild import ClusterRebuildManager
 from repro.cluster.routing import (
     RequestRouter,
     RouterSpec,
     register_router,
     router_names,
 )
+from repro.cluster.selfheal import RebuildPlan, SelfHealSpec
 from repro.cluster.sessions import ClusterSessionGenerator, ClusterSessionStats
 from repro.cluster.system import ClusterStats, SpiffiCluster, run_cluster
 
 __all__ = [
     "CatalogPlacement",
     "ClusterConfig",
+    "ClusterRebuildManager",
     "ClusterSessionGenerator",
     "ClusterSessionStats",
     "ClusterStats",
     "PlacementSpec",
+    "RebuildPlan",
     "RequestRouter",
     "RouterSpec",
+    "SelfHealSpec",
     "SpiffiCluster",
     "collect_cluster_metrics",
     "placement_names",

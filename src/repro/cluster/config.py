@@ -22,6 +22,7 @@ import dataclasses
 
 from repro.cluster.placement import PlacementSpec
 from repro.cluster.routing import RouterSpec
+from repro.cluster.selfheal import SelfHealSpec
 from repro.core.config import SpiffiConfig
 from repro.faults.spec import FaultSpec
 from repro.proxy.spec import ProxySpec, proxy_cache_dict
@@ -60,6 +61,11 @@ class ClusterConfig:
     #: cluster workload (the closed 1-node population never routes
     #: through the front door).
     proxy: ProxySpec = dataclasses.field(default_factory=ProxySpec)
+    #: Self-healing around node outages: catalog re-replication onto
+    #: survivors, rejoin resync, and placement-aware (spill) admission.
+    #: The default spec is inert — runs are bit-identical to a build
+    #: without the self-healing layer at all.
+    self_heal: SelfHealSpec = dataclasses.field(default_factory=SelfHealSpec)
     #: Cluster seed; None adopts ``node.seed``.  Member *i* runs with
     #: ``seed + i``; the cluster session generator draws from the
     #: ``"cluster-workload"`` child stream of ``seed``.
@@ -82,6 +88,10 @@ class ClusterConfig:
             raise TypeError(f"faults must be a FaultSpec, got {self.faults!r}")
         if not isinstance(self.proxy, ProxySpec):
             raise TypeError(f"proxy must be a ProxySpec, got {self.proxy!r}")
+        if not isinstance(self.self_heal, SelfHealSpec):
+            raise TypeError(
+                f"self_heal must be a SelfHealSpec, got {self.self_heal!r}"
+            )
         if self.nodes < 1:
             raise ValueError(f"need at least one node, got {self.nodes}")
         if self.seed is None:
@@ -130,6 +140,18 @@ class ClusterConfig:
                 f"fault spec fails all {self.nodes} node(s); at least one "
                 f"member must survive"
             )
+        if self.self_heal.rebuild and not self.faults.node_outages_enabled:
+            raise ValueError(
+                "self_heal.rebuild=True but faults.fail_node_ids is empty: "
+                "re-replication destinations are provisioned at build time "
+                "from the scripted outage, so there is nothing to heal"
+            )
+        if self.self_heal.enabled and self.nodes < 2:
+            raise ValueError(
+                "self-healing (self_heal.rebuild or "
+                "self_heal.placement_aware_admission) needs a multi-node "
+                f"cluster, got nodes={self.nodes}"
+            )
         # Build the placement once for validation: bad shapes (e.g. an
         # oversized hybrid hotset) fail at config time, not run time.
         self.placement.build(self.nodes, self.node.video_count)
@@ -164,6 +186,8 @@ class ClusterConfig:
         )
         if self.proxy.enabled:
             text += f"{self.proxy.label()}, "
+        if self.self_heal.enabled:
+            text += f"{self.self_heal.label()}, "
         return text + f"node: {self.node.describe()}"
 
     def label(self) -> str:
@@ -185,22 +209,33 @@ def cluster_cache_dict(config: ClusterConfig) -> dict:
     bumping it invalidates cached cluster runs without disturbing the
     (unchanged) standalone entries.  Schema 2 charges front-door routing
     control messages to the interconnect.  A default (disabled) proxy is
-    omitted, so pre-proxy cluster configs keep their digests.
+    omitted, so pre-proxy cluster configs keep their digests; likewise a
+    default ``self_heal``, a zero ``fail_node_stagger_s``, and a zero
+    placement ``replicas`` are omitted, so pre-self-healing configs keep
+    theirs.
     """
     from repro.core.config import config_cache_dict
 
+    placement = dataclasses.asdict(config.placement)
+    if config.placement.replicas == 0:
+        del placement["replicas"]
+    faults = dataclasses.asdict(config.faults)
+    if config.faults.fail_node_stagger_s == 0.0:
+        del faults["fail_node_stagger_s"]
     payload = {
         "schema": 2,
         "nodes": config.nodes,
         "seed": config.seed,
-        "placement": dataclasses.asdict(config.placement),
+        "placement": placement,
         "routing": dataclasses.asdict(config.routing),
         "workload": dataclasses.asdict(config.workload),
-        "faults": dataclasses.asdict(config.faults),
+        "faults": faults,
         "node": config_cache_dict(config.node),
     }
     if config.proxy != ProxySpec():
         payload["proxy"] = proxy_cache_dict(config.proxy)
+    if config.self_heal != SelfHealSpec():
+        payload["self_heal"] = dataclasses.asdict(config.self_heal)
     return {"cluster": payload}
 
 

@@ -16,6 +16,12 @@ of per-bus peaks (an upper bound — members peak at different
 instants); the admission queue-length max is the largest single-member
 queue, not the instantaneous cluster-wide sum.
 
+Multi-node runs additionally carry a ``per_node`` breakdown — one
+mapping per member (routed sessions, queue depth, disk utilization,
+rebuild traffic, availability) — as a diagnostic view; it is excluded
+from digests and equality, so the aggregates stay bit-identical whether
+or not anyone reads it.
+
 The degenerate 1-node closed cluster bypasses aggregation entirely and
 returns ``collect_metrics`` of its one member verbatim — that is what
 keeps it bit-identical to the standalone system.
@@ -86,6 +92,35 @@ def collect_cluster_metrics(
     sessions = cluster.workload.stats if cluster.workload is not None else None
     qos = cluster.qos
     proxy = cluster.proxy_runtime.stats if cluster.proxy_runtime else None
+    cstats = cluster.stats
+    manager = cluster.rebuild_manager
+    restore_s = 0.0
+    if manager is not None and manager.degree_restored_at is not None:
+        restore_s = (
+            manager.degree_restored_at - cluster.config.faults.fail_nodes_at_s
+        )
+
+    per_node = []
+    for index, member in enumerate(members):
+        node_terminals = member.terminals
+        node_drives = [d for node in member.nodes for d in node.drives]
+        node_utils = [d.busy.utilization(now) for d in node_drives]
+        per_node.append(
+            {
+                "node": index,
+                "routed": sessions.routed[index] if sessions else 0,
+                "admissions_queued": member.admission.queued,
+                "admission_queue_len_max": member.admission.queue_lengths.maximum,
+                "disk_utilization_mean": sum(node_utils) / len(node_utils),
+                "blocks_delivered": sum(
+                    t.stats.blocks_received for t in node_terminals
+                ),
+                "glitches": sum(t.stats.glitches for t in node_terminals),
+                "available": cluster.node_available(index),
+                "rebuild_bytes_in": cstats.rebuild_bytes_in[index],
+                "rebuild_bytes_out": cstats.rebuild_bytes_out[index],
+            }
+        )
 
     return RunMetrics(
         terminals=len(terminals),
@@ -166,4 +201,14 @@ def collect_cluster_metrics(
         proxy_misses=proxy.misses if proxy else 0,
         proxy_served_bytes=proxy.served_bytes if proxy else 0,
         proxy_origin_bytes=proxy.origin_bytes if proxy else 0,
+        failed_over_sessions=sessions.failed_over if sessions else 0,
+        lost_sessions=sessions.lost if sessions else 0,
+        spilled_sessions=sessions.spilled if sessions else 0,
+        node_titles_rebuilt=cstats.titles_rebuilt,
+        node_titles_unrecoverable=cstats.titles_unrecoverable,
+        node_rebuild_bytes=cstats.rebuild_bytes,
+        replication_restore_s=restore_s,
+        rejoin_resyncs=cstats.rejoin_resyncs,
+        rejoin_resync_bytes=cstats.rejoin_resync_bytes,
+        per_node=tuple(per_node),
     )

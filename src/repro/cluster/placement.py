@@ -88,6 +88,24 @@ class CatalogPlacement:
         """Copies of *title* across the cluster."""
         return len(self.hosts[title])
 
+    def add_replica(self, title: int, node: int, local_id: int) -> None:
+        """Activate a new live copy of *title* on *node*.
+
+        Called by the cluster rebuild manager once a re-replicated
+        title's last block lands on the destination's disks; the router
+        sees the node as a host from the next ``nodes_for`` call.  The
+        copy is appended, so the title's primary never changes.  The
+        caller supplies *local_id* — the spare library slot the copy was
+        written into — because spare slots sit past the construction
+        count this mapping assigned.
+        """
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} outside 0..{self.nodes - 1}")
+        if node in self.hosts[title]:
+            raise ValueError(f"title {title} is already hosted on node {node}")
+        self.hosts[title] = self.hosts[title] + (node,)
+        self._local[(title, node)] = local_id
+
 
 #: ``factory(spec, nodes, videos_per_node) -> CatalogPlacement``
 PlacementFactory = typing.Callable[..., CatalogPlacement]
@@ -116,6 +134,9 @@ class PlacementSpec:
     name: str = "partitioned"
     #: ``hybrid-hot-replicated``: leading titles replicated everywhere.
     hot_titles: int = 0
+    #: ``chained-declustered``: copies per title (0 elsewhere, where the
+    #: scheme itself fixes the replication degree).
+    replicas: int = 0
 
     def __post_init__(self) -> None:
         if self.name not in _REGISTRY:
@@ -132,6 +153,16 @@ class PlacementSpec:
                 f"placement {self.name!r} takes no hot_titles "
                 f"(got {self.hot_titles})"
             )
+        if self.name == "chained-declustered" and self.replicas < 2:
+            raise ValueError(
+                f"chained-declustered needs replicas >= 2, "
+                f"got {self.replicas}"
+            )
+        if self.name != "chained-declustered" and self.replicas != 0:
+            raise ValueError(
+                f"placement {self.name!r} takes no replicas "
+                f"(got {self.replicas})"
+            )
 
     def build(self, nodes: int, videos_per_node: int) -> CatalogPlacement:
         """The concrete title->node mapping for this cluster shape."""
@@ -144,6 +175,8 @@ class PlacementSpec:
     def label(self) -> str:
         if self.hot_titles:
             return f"{self.name}({self.hot_titles})"
+        if self.replicas:
+            return f"{self.name}({self.replicas})"
         return self.name
 
 
@@ -180,6 +213,36 @@ def _hybrid(spec: PlacementSpec, nodes: int, per: int) -> CatalogPlacement:
     return CatalogPlacement(nodes, hosts)
 
 
+def _chained(spec: PlacementSpec, nodes: int, per: int) -> CatalogPlacement:
+    """Chained declustering at the node level (cf. the disk-level layout
+    in :mod:`repro.layout`): each title lives on ``replicas`` cyclically
+    consecutive nodes, so losing one node leaves every title exactly one
+    copy short — the sweet spot for measuring re-replication — and the
+    rebuild load of a dead member spreads over its chain neighbours.
+
+    Per-node storage stays at the ``per``-video capacity: the catalog
+    holds ``nodes * per // replicas`` distinct titles, each stored
+    ``replicas`` times.
+    """
+    if spec.replicas > nodes:
+        raise ValueError(
+            f"chained-declustered replicas={spec.replicas} exceeds "
+            f"{nodes} node(s)"
+        )
+    catalog = nodes * per // spec.replicas
+    if catalog < 1:
+        raise ValueError(
+            f"chained-declustered({spec.replicas}) over {nodes} node(s) x "
+            f"{per} video(s) leaves no catalog"
+        )
+    hosts = [
+        tuple((title + shift) % nodes for shift in range(spec.replicas))
+        for title in range(catalog)
+    ]
+    return CatalogPlacement(nodes, hosts)
+
+
 register_placement("partitioned", _partitioned)
 register_placement("replicated", _replicated)
 register_placement("hybrid-hot-replicated", _hybrid)
+register_placement("chained-declustered", _chained)

@@ -98,9 +98,16 @@ class RequestRouter:
             if cluster.node_available(node)
         ]
 
-    def _load(self, node: int) -> int:
+    def _load(self, node: int) -> float:
+        """Streams on *node* plus any self-heal traffic it is absorbing
+        (``rebuild_load`` is 0.0 whenever self-healing is disabled, so
+        the historical integer ordering is untouched)."""
         admission = self.cluster.members[node].admission
-        return admission.active + admission.queue_length
+        return (
+            admission.active
+            + admission.queue_length
+            + self.cluster.rebuild_load(node)
+        )
 
     def _least_loaded(self, candidates: list[int]) -> int:
         health = self.cluster.health
@@ -111,6 +118,24 @@ class RequestRouter:
     def route(self, title: int) -> int | None:
         """The node to serve *title* now, or None if no host survives."""
         raise NotImplementedError
+
+    def spill_candidate(
+        self, title: int, exclude: int, queue_limit: int
+    ) -> int | None:
+        """A replica holder with queue room, for placement-aware
+        admission: the least-loaded available host of *title* other
+        than *exclude* whose admission queue is below *queue_limit*
+        (None when every alternative is as full as the routed node)."""
+        members = self.cluster.members
+        candidates = [
+            node
+            for node in self.candidates(title)
+            if node != exclude
+            and members[node].admission.queue_length < queue_limit
+        ]
+        if not candidates:
+            return None
+        return self._least_loaded(candidates)
 
 
 class LeastLoadedRouter(RequestRouter):

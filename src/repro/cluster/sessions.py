@@ -61,6 +61,9 @@ class ClusterSessionStats(SessionStats):
         self.failed_over = 0
         #: Sessions dropped because no surviving node hosts the title.
         self.lost = 0
+        #: Placement-aware admission: arrivals redirected to another
+        #: replica holder instead of balking on the routed node's queue.
+        self.spilled = 0
 
 
 class ClusterSessionGenerator:
@@ -162,8 +165,28 @@ class ClusterSessionGenerator:
                 and admission.would_queue
                 and admission.queue_length >= spec.queue_limit
             ):
-                stats.balked += 1
-                return None
+                # Placement-aware admission: before giving up on one
+                # member's full queue, ask for another replica holder
+                # with room (None whenever the feature is disabled —
+                # the historical balk is then taken verbatim).
+                spill = cluster.spill_target(title, node_id, spec.queue_limit)
+                if spill is None:
+                    stats.balked += 1
+                    return None
+                stats.spilled += 1
+                node_id = spill
+                member = cluster.members[node_id]
+                admission = member.admission
+                down = cluster.down_event(node_id)
+                # The redirect is one more front-door control message.
+                yield from cluster.interconnect.transfer(
+                    cluster.config.node.control_message_bytes
+                )
+                if admission.would_queue and (
+                    admission.queue_length >= spec.queue_limit
+                ):
+                    stats.balked += 1  # the room filled while we hopped
+                    return None
             slot = admission.request_slot()
             if not slot.triggered:
                 waits = [slot, down]

@@ -306,6 +306,10 @@ def config_cache_dict(config: SpiffiConfig) -> dict:
     data["replacement_policy"] = config.replacement_policy.name
     if config.faults == FaultSpec():
         del data["faults"]
+    elif config.faults.fail_node_stagger_s == 0.0:
+        # Default stagger is omitted so pre-stagger fault configs keep
+        # their digests (a node cannot stagger on a single system).
+        del data["faults"]["fail_node_stagger_s"]
     if config.replication == ReplicationSpec():
         del data["replication"]
     if config.workload == ArrivalSpec():

@@ -97,6 +97,28 @@ class RunMetrics:
     proxy_misses: int = 0
     proxy_served_bytes: int = 0
     proxy_origin_bytes: int = 0
+    # Cluster failover & self-healing (all zero unless the cluster
+    # scripts node outages or enables self_heal; the whole group is
+    # dropped from :meth:`deterministic_dict` while inert so earlier
+    # digests survive, same discipline as the proxy group).
+    failed_over_sessions: int = 0
+    lost_sessions: int = 0
+    spilled_sessions: int = 0
+    node_titles_rebuilt: int = 0
+    node_titles_unrecoverable: int = 0
+    node_rebuild_bytes: int = 0
+    #: Simulated seconds from the first scripted outage to the instant
+    #: the last planned re-replication went live (0.0 when rebuild is
+    #: off or never finished).
+    replication_restore_s: float = 0.0
+    rejoin_resyncs: int = 0
+    rejoin_resync_bytes: int = 0
+    #: Per-member breakdown for multi-node runs: one mapping per node
+    #: (routed sessions, queue depth, disk utilization, rebuild traffic
+    #: ...).  Diagnostic only — excluded from equality and from
+    #: :meth:`deterministic_dict`, so cluster aggregates hash exactly
+    #: as before; the aggregate fields above remain the ground truth.
+    per_node: tuple = dataclasses.field(default=(), compare=False)
     # Execution accounting (stamped by ``run_simulation`` via
     # ``repro.telemetry.runstats``; zero when a system is run directly).
     # Wall time is host-dependent, so it does not participate in
@@ -104,6 +126,13 @@ class RunMetrics:
     # count is deterministic and does participate.
     wall_time_s: float = dataclasses.field(default=0.0, compare=False)
     events_processed: int = 0
+
+    def __post_init__(self) -> None:
+        # Cached entries round-trip through JSON, which turns the
+        # per-node tuple into a list; normalise so cache hits compare
+        # (and re-serialise) identically to fresh runs.
+        if not isinstance(self.per_node, tuple):
+            object.__setattr__(self, "per_node", tuple(self.per_node))
 
     @property
     def glitch_free(self) -> bool:
@@ -148,7 +177,7 @@ class RunMetrics:
         """Fraction of proxy requests served from proxy memory."""
         return self.proxy_hits / self.proxy_requests if self.proxy_requests else 0.0
 
-    #: Field group dropped from :meth:`deterministic_dict` while inert.
+    #: Field groups dropped from :meth:`deterministic_dict` while inert.
     _PROXY_FIELDS = (
         "proxy_requests",
         "proxy_hits",
@@ -156,21 +185,36 @@ class RunMetrics:
         "proxy_served_bytes",
         "proxy_origin_bytes",
     )
+    _SELF_HEAL_FIELDS = (
+        "failed_over_sessions",
+        "lost_sessions",
+        "spilled_sessions",
+        "node_titles_rebuilt",
+        "node_titles_unrecoverable",
+        "node_rebuild_bytes",
+        "replication_restore_s",
+        "rejoin_resyncs",
+        "rejoin_resync_bytes",
+    )
 
     def deterministic_dict(self) -> dict:
         """All fields except host-dependent wall time, for comparing
         runs across executors, job counts, and submission orders.
 
         Mirroring the config canonicalisation, a field group that is
-        entirely inert (here: the proxy counters of a proxy-less run)
-        is omitted, so digests of pre-existing scenarios survive schema
-        growth unchanged.
+        entirely inert (the proxy counters of a proxy-less run, the
+        failover/self-heal counters of an outage-free run) is omitted,
+        so digests of pre-existing scenarios survive schema growth
+        unchanged.  The per-node breakdown is always omitted: it is a
+        diagnostic view of numbers the aggregate fields already pin.
         """
         values = dataclasses.asdict(self)
         values.pop("wall_time_s")
-        if not any(values[field] for field in self._PROXY_FIELDS):
-            for field in self._PROXY_FIELDS:
-                del values[field]
+        values.pop("per_node")
+        for group in (self._PROXY_FIELDS, self._SELF_HEAL_FIELDS):
+            if not any(values[field] for field in group):
+                for field in group:
+                    del values[field]
         return values
 
     def summary(self) -> str:
@@ -202,6 +246,17 @@ class RunMetrics:
             text += (
                 f" proxy_hit_rate={self.proxy_hit_rate:.2f}"
                 f" proxy_served={self.proxy_served_bytes // MB}MB"
+            )
+        if self.failed_over_sessions or self.lost_sessions or self.spilled_sessions:
+            text += (
+                f" failed_over={self.failed_over_sessions}"
+                f" lost={self.lost_sessions}"
+                f" spilled={self.spilled_sessions}"
+            )
+        if self.node_titles_rebuilt or self.rejoin_resyncs:
+            text += (
+                f" titles_rebuilt={self.node_titles_rebuilt}"
+                f" restore={self.replication_restore_s:.1f}s"
             )
         return text
 

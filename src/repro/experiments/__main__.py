@@ -77,8 +77,8 @@ def _parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="experiment",
         help="experiment ids (fig08..fig19, table2, table3, sec82, "
-        "faultsweep, availability, saturation, cluster, prefixsweep), "
-        "'all', or 'list'",
+        "faultsweep, availability, saturation, cluster, prefixsweep, "
+        "resilience), 'all', or 'list'",
     )
     parser.add_argument(
         "--jobs",

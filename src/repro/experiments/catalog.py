@@ -14,6 +14,7 @@ from repro.experiments.availability import availability
 from repro.experiments.cluster import cluster
 from repro.experiments.faultsweep import faultsweep
 from repro.experiments.prefixsweep import prefixsweep
+from repro.experiments.resilience import resilience
 from repro.experiments.results import ExperimentResult
 from repro.experiments.saturation import saturation
 
@@ -38,6 +39,7 @@ EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "saturation": saturation,
     "cluster": cluster,
     "prefixsweep": prefixsweep,
+    "resilience": resilience,
 }
 
 

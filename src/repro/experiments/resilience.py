@@ -1,0 +1,217 @@
+"""Resilience: cluster self-healing around scripted node outages.
+
+Not a figure from the paper — SPIFFI's evaluation stopped at fault-free
+single servers — but the question its cluster generalisation raises:
+when a member node dies, how fast must the survivors re-replicate its
+catalog before a *second* failure turns degraded service into lost
+customers?  The grid crosses outage shape (none, one permanent outage,
+a staggered double outage, outage + recovery) with the self-heal spec
+(rebuild off, rebuild at two bandwidth caps, placement-aware spill) and
+placement scheme (chained-declustered vs partitioned) on one fixed
+arrival rate, and reports the session damage (lost, failed-over,
+balked, spilled), the p99 startup latency while rebuild traffic
+competes with serving, and the time to restored replication degree next
+to the bandwidth-cap prediction ``moved bytes / cap``.
+
+The headline comparisons the table exists to show:
+
+* *rebuild vs not, double outage*: the staggered second failure kills
+  every title whose only remaining copy it held — unless the rebuild
+  finished re-replicating them inside the stagger window, in which case
+  strictly fewer sessions are lost;
+* *cap sweep*: time-to-restored-degree tracks ``moved bytes / cap``
+  while the cap, not the copy path, is the bottleneck;
+* *placement*: partitioned placement leaves the rebuild no surviving
+  source, so the same spec that heals the chained cluster can only
+  count its titles unrecoverable.
+
+Like every driver in this package the cells are independent and
+statically declared, so the parallel runner fans the whole grid out at
+once and results are bit-identical at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterConfig, PlacementSpec, RouterSpec, SelfHealSpec
+from repro.core.config import MB, SpiffiConfig
+from repro.experiments.presets import bench_scale
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_grid
+from repro.faults.spec import FaultSpec
+from repro.server.admission import AdmissionSpec
+from repro.workload import ArrivalSpec
+
+#: Cluster-wide arrival rate (sessions/s): light enough that the
+#: healthy cluster never queues, heavy enough that outage survivors do
+#: — which is what gives the placement-aware spill something to dodge.
+RATE_PER_S = 12.0
+
+#: Rebuild bandwidth caps swept (moved read+write bytes per second).
+#: Both sit below the serial copy path's own throughput, so the cap —
+#: not the disks — is the binding constraint and restore time is
+#: predictable from it.
+CAPS = (2 * MB, 4 * MB)
+
+
+def member_config() -> SpiffiConfig:
+    """One cluster member: the saturation experiment's small disk-bound
+    array with a short catalog, so a full node rebuild fits inside the
+    bench measurement window at every scale."""
+    scale = bench_scale()
+    return SpiffiConfig(
+        nodes=2,
+        disks_per_node=2,
+        terminals=1,  # ignored: the cluster workload spawns sessions
+        videos_per_disk=2,
+        video_length_s=4.0 if scale.name == "quick" else 8.0,
+        server_memory_bytes=64 * MB,
+        # Skewed popularity + tight admission headroom: outage
+        # survivors queue on their hottest primaries, so spill has an
+        # imbalance to exploit.
+        zipf_skew=0.9,
+        admission=AdmissionSpec("bandwidth", headroom=0.5),
+        start_spread_s=scale.start_spread_s,
+        warmup_grace_s=scale.warmup_grace_s,
+        measure_s=scale.measure_s,
+    )
+
+
+def workload() -> ArrivalSpec:
+    return ArrivalSpec(
+        process="poisson",
+        rate_per_s=RATE_PER_S,
+        mean_view_duration_s=30.0,
+        queue_limit=4,
+        mean_patience_s=10.0,
+        startup_slo_s=10.0,
+    )
+
+
+def resilience() -> ExperimentResult:
+    """Session damage and time-to-restored-degree across outage shapes,
+    rebuild caps, and placement schemes."""
+    scale = bench_scale()
+    node = member_config()
+    chained = PlacementSpec("chained-declustered", replicas=2)
+    partitioned = PlacementSpec("partitioned")
+    routing = RouterSpec("locality")
+    # Outage timing scales with the window: the first failure lands a
+    # fifth of the way into measurement, the staggered second failure a
+    # quarter-window later, recovery (where scripted) after 0.3 windows.
+    fail_at = node.warmup_s + 0.2 * scale.measure_s
+    stagger = 0.25 * scale.measure_s
+    single = FaultSpec(fail_node_ids=(1,), fail_nodes_at_s=fail_at)
+    double = FaultSpec(
+        fail_node_ids=(1, 2),
+        fail_nodes_at_s=fail_at,
+        fail_node_stagger_s=stagger,
+    )
+    recovering = FaultSpec(
+        fail_node_ids=(1,),
+        fail_nodes_at_s=fail_at,
+        node_recover_after_s=0.3 * scale.measure_s,
+    )
+
+    def heal(cap: float, **extra) -> SelfHealSpec:
+        return SelfHealSpec(
+            rebuild=True, rebuild_bandwidth_bytes_per_s=cap, **extra
+        )
+
+    caps = CAPS[1:] if scale.name == "quick" else CAPS
+    cells: list[tuple[str, str, PlacementSpec, ClusterConfig]] = []
+
+    def cell(label, placement, faults, self_heal):
+        config = ClusterConfig(
+            node=node,
+            nodes=3,
+            placement=placement,
+            routing=routing,
+            workload=workload(),
+            faults=faults,
+            self_heal=self_heal,
+        )
+        cells.append((label, self_heal.label(), placement, config))
+
+    cell("no outage", chained, FaultSpec(), SelfHealSpec())
+    cell("1-node outage", chained, single, SelfHealSpec())
+    for cap in caps:
+        cell("1-node outage", chained, single, heal(cap))
+    cell("double outage", chained, double, SelfHealSpec())
+    cell("double outage", chained, double, heal(CAPS[-1]))
+    cell("double outage", chained, double,
+         heal(CAPS[-1], placement_aware_admission=True))
+    cell("1-node outage", partitioned, single, heal(CAPS[-1]))
+    cell("outage+recovery", chained, recovering,
+         heal(CAPS[-1], rejoin_resync_fraction=0.05))
+
+    grid = [
+        (f"resilience {label} {placement.label()} {heal_label}", config)
+        for label, heal_label, placement, config in cells
+    ]
+    rows = []
+    for (label, heal_label, placement, config), metrics in zip(
+        cells, run_grid(grid)
+    ):
+        cap = config.self_heal.rebuild_bandwidth_bytes_per_s
+        predicted = (
+            metrics.node_rebuild_bytes / cap
+            if config.self_heal.rebuild and metrics.node_rebuild_bytes
+            else 0.0
+        )
+        rows.append(
+            (
+                label,
+                placement.label(),
+                heal_label,
+                metrics.lost_sessions,
+                metrics.failed_over_sessions,
+                metrics.balked_sessions,
+                metrics.spilled_sessions,
+                f"{metrics.startup_p99_s:.2f}",
+                metrics.glitches,
+                metrics.node_titles_rebuilt,
+                metrics.node_titles_unrecoverable,
+                (
+                    f"{metrics.replication_restore_s:.1f}"
+                    if metrics.replication_restore_s
+                    else "-"
+                ),
+                f"{predicted:.1f}" if predicted else "-",
+                metrics.rejoin_resyncs,
+            )
+        )
+    return ExperimentResult(
+        name="resilience",
+        title="Resilience: self-healing vs outage shape, cap, and placement",
+        headers=(
+            "scenario",
+            "placement",
+            "self-heal",
+            "lost",
+            "failed over",
+            "balked",
+            "spilled",
+            "p99 startup",
+            "glitches",
+            "rebuilt",
+            "unrecov",
+            "restore s",
+            "bytes/cap s",
+            "rejoins",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "(3-node cluster, locality routing, poisson arrivals "
+            f"{RATE_PER_S:g}/s, 30s mean view, queue limit 4; each member "
+            "the 2x2-disk saturation array with a "
+            f"{member_config().video_length_s:g}s-video catalog, zipf "
+            "skew 0.9, bandwidth admission h=0.5; first outage at "
+            f"{fail_at:g}s, double-outage stagger {stagger:g}s, recovery "
+            "after 0.3 windows; 'restore s' is seconds from first outage "
+            "to the last planned re-replica going live, 'bytes/cap s' the "
+            "pacer-predicted floor moved-bytes/cap; partitioned placement "
+            "leaves rebuild no surviving source, so its titles count "
+            "unrecoverable; measure window "
+            f"{scale.measure_s:g}s)"
+        ),
+    )

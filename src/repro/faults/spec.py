@@ -14,6 +14,7 @@ one on a build without the fault subsystem at all.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 #: Fault kinds produced by the schedule generator.
 DISK_SLOW = "disk_slow"
@@ -96,6 +97,12 @@ class FaultSpec:
     #: Simulated seconds after the outage until the nodes rejoin
     #: (0 = the outage is permanent).
     node_recover_after_s: float = 0.0
+    #: Spacing between consecutive node failures: member
+    #: ``fail_node_ids[k]`` drops at ``fail_nodes_at_s + k * stagger``
+    #: (0 = all listed nodes fail simultaneously, the historical
+    #: semantics).  Each node's recovery, when scripted, follows its
+    #: own failure by ``node_recover_after_s``.
+    fail_node_stagger_s: float = 0.0
 
     # --- network degradation schedule ----------------------------------
     network_fault_rate_per_hour: float = 0.0
@@ -175,8 +182,15 @@ class FaultSpec:
             raise ValueError(
                 f"fail_disk_ids contains duplicates: {self.fail_disk_ids!r}"
             )
-        if self.fail_at_s < 0:
-            raise ValueError(f"fail_at_s must be >= 0, got {self.fail_at_s}")
+        if self.fail_at_s < 0 or not math.isfinite(self.fail_at_s):
+            raise ValueError(
+                f"fail_at_s must be finite and >= 0, got {self.fail_at_s}"
+            )
+        if self.fail_at_s > 0 and not self.fail_disk_ids:
+            raise ValueError(
+                f"fail_at_s={self.fail_at_s:g} but fail_disk_ids is empty: "
+                "nothing is scheduled to fail"
+            )
         if not isinstance(self.fail_node_ids, tuple):
             object.__setattr__(self, "fail_node_ids", tuple(self.fail_node_ids))
         for node in self.fail_node_ids:
@@ -189,19 +203,53 @@ class FaultSpec:
             raise ValueError(
                 f"fail_node_ids contains duplicates: {self.fail_node_ids!r}"
             )
-        if self.fail_nodes_at_s < 0:
+        if self.fail_nodes_at_s < 0 or not math.isfinite(self.fail_nodes_at_s):
             raise ValueError(
-                f"fail_nodes_at_s must be >= 0, got {self.fail_nodes_at_s}"
+                f"fail_nodes_at_s must be finite and >= 0, "
+                f"got {self.fail_nodes_at_s}"
             )
-        if self.node_recover_after_s < 0:
+        if self.fail_nodes_at_s > 0 and not self.fail_node_ids:
             raise ValueError(
-                f"node_recover_after_s must be >= 0, "
+                f"fail_nodes_at_s={self.fail_nodes_at_s:g} but fail_node_ids "
+                "is empty: no node is scheduled to fail"
+            )
+        if self.node_recover_after_s < 0 or not math.isfinite(
+            self.node_recover_after_s
+        ):
+            raise ValueError(
+                f"node_recover_after_s must be finite and >= 0, "
                 f"got {self.node_recover_after_s}"
             )
         if self.node_recover_after_s > 0 and not self.fail_node_ids:
             raise ValueError(
                 "node_recover_after_s without fail_node_ids: nothing to recover"
             )
+        if self.fail_node_stagger_s < 0 or not math.isfinite(
+            self.fail_node_stagger_s
+        ):
+            raise ValueError(
+                f"fail_node_stagger_s must be finite and >= 0, "
+                f"got {self.fail_node_stagger_s}"
+            )
+        if self.fail_node_stagger_s > 0 and len(self.fail_node_ids) < 2:
+            raise ValueError(
+                f"fail_node_stagger_s={self.fail_node_stagger_s:g} needs at "
+                f"least two fail_node_ids to stagger, "
+                f"got {self.fail_node_ids!r}"
+            )
+        if (
+            0 < self.node_recover_after_s <= self.fail_node_stagger_s
+        ) and len(self.fail_node_ids) > 1:
+            # Each node would recover before the next one fails; allowed,
+            # but recovery *at* the same instant as the next failure is
+            # an ordering trap the driver refuses to arbitrate.
+            if self.node_recover_after_s == self.fail_node_stagger_s:
+                raise ValueError(
+                    f"node_recover_after_s ({self.node_recover_after_s:g}) "
+                    f"equals fail_node_stagger_s: a node would recover at "
+                    "the exact instant the next fails; offset one of the "
+                    "two fields"
+                )
 
     def _total_weight(self) -> float:
         return self.slow_weight + self.outage_weight + self.fail_weight
@@ -235,6 +283,8 @@ class FaultSpec:
             parts.append(f"fail {len(self.fail_disk_ids)} disk(s)")
         if self.fail_node_ids:
             text = f"fail {len(self.fail_node_ids)} node(s)"
+            if self.fail_node_stagger_s > 0:
+                text += f" @{self.fail_node_stagger_s:g}s apart"
             if self.node_recover_after_s > 0:
                 text += f" +recover {self.node_recover_after_s:g}s"
             parts.append(text)

@@ -39,6 +39,9 @@ class NetworkBus:
         self.params = params
         self.traffic = WindowedRate(params.rate_window_s, env.now)
         self.messages = 0
+        #: Bytes carried per traffic class (only tagged transfers are
+        #: accounted; untagged foreground traffic stays out).
+        self.kind_bytes: dict[str, int] = {}
         # Fault-injection state (see repro.faults); empty by default.
         self._degrade_multipliers: list[float] = []
 
@@ -55,9 +58,16 @@ class NetworkBus:
     def degraded(self) -> bool:
         return bool(self._degrade_multipliers)
 
-    def transfer(self, size_bytes: int) -> typing.Generator:
-        """Generator (``yield from``): carry a message across the wire."""
+    def transfer(self, size_bytes: int, kind: str | None = None) -> typing.Generator:
+        """Generator (``yield from``): carry a message across the wire.
+
+        *kind* tags the bytes into :attr:`kind_bytes` (e.g. the cluster
+        charges ``"rebuild"`` and ``"resync"`` re-replication traffic),
+        so background classes are separable from foreground totals.
+        """
         self.messages += 1
+        if kind is not None:
+            self.kind_bytes[kind] = self.kind_bytes.get(kind, 0) + size_bytes
         self.traffic.record(self.env.now, size_bytes)
         transit = self.params.transit_time(size_bytes)
         for multiplier in self._degrade_multipliers:
@@ -76,3 +86,4 @@ class NetworkBus:
     def reset_stats(self) -> None:
         self.traffic.reset(self.env.now)
         self.messages = 0
+        self.kind_bytes = {}

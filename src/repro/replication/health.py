@@ -52,6 +52,8 @@ class HealthMonitor:
         #: Optional :class:`~repro.telemetry.trace.TraceRecorder`.
         self.trace: "TraceRecorder | None" = None
         self._on_failed: list[typing.Callable[[int], None]] = []
+        self._on_outage: list[typing.Callable[[int], None]] = []
+        self._on_restored: list[typing.Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # State queries (used by the read router)
@@ -76,6 +78,16 @@ class HealthMonitor:
         """Call *callback(disk)* when a disk fails permanently."""
         self._on_failed.append(callback)
 
+    def subscribe_outage(self, callback: typing.Callable[[int], None]) -> None:
+        """Call *callback(index)* when an index transitions into DOWN
+        (outage count 0 → 1).  Overlapping outages fire only once."""
+        self._on_outage.append(callback)
+
+    def subscribe_restored(self, callback: typing.Callable[[int], None]) -> None:
+        """Call *callback(index)* when the last active outage on an
+        index is reverted (outage count 1 → 0)."""
+        self._on_restored.append(callback)
+
     def note_timeout(self, disk: int) -> None:
         """A request to *disk* timed out: suspect it for the cooldown."""
         before = self.state(disk)
@@ -91,6 +103,11 @@ class HealthMonitor:
             self._slow[disk] += 1
         elif event.kind == DISK_OUTAGE:
             self._down[disk] += 1
+            if self._down[disk] == 1:
+                self._note_change(disk, before)
+                for callback in self._on_outage:
+                    callback(disk)
+                return
         elif event.kind == DISK_FAIL:
             if self._failed[disk]:
                 return  # already dead; do not re-trigger rebuild
@@ -112,6 +129,11 @@ class HealthMonitor:
             self._slow[disk] -= 1
         elif event.kind == DISK_OUTAGE:
             self._down[disk] -= 1
+            if self._down[disk] == 0:
+                self._note_change(disk, before)
+                for callback in self._on_restored:
+                    callback(disk)
+                return
         else:
             return
         self._note_change(disk, before)

@@ -33,6 +33,38 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 REBUILD_TERMINAL = -2
 
 
+class BandwidthPacer:
+    """Paces a copy loop to a byte-rate budget.
+
+    Charge every moved byte as the loop goes; :meth:`charge` sleeps
+    whenever the cumulative bytes run ahead of ``rate`` × elapsed time
+    since construction.  Shared by the per-disk rebuild below and the
+    cluster-level re-replication (:mod:`repro.cluster.rebuild`), so
+    both trade time-to-redundancy against foreground interference with
+    the same arithmetic.
+    """
+
+    __slots__ = ("env", "rate", "started", "moved")
+
+    def __init__(self, env: "Environment", rate_bytes_per_s: float) -> None:
+        if rate_bytes_per_s <= 0:
+            raise ValueError(
+                f"pacer rate must be positive, got {rate_bytes_per_s}"
+            )
+        self.env = env
+        self.rate = rate_bytes_per_s
+        self.started = env.now
+        self.moved = 0
+
+    def charge(self, nbytes: int) -> typing.Generator:
+        """Generator (``yield from``): account *nbytes* and pace."""
+        self.moved += nbytes
+        due = self.started + self.moved / self.rate
+        if due > self.env.now:
+            yield self.env.timeout(due - self.env.now)
+        return None
+
+
 class RebuildManager:
     def __init__(
         self,
@@ -67,8 +99,8 @@ class RebuildManager:
         started = env.now
         self.active += 1
         runtime.record(REBUILD_START, disk=disk)
-        rate = runtime.spec.rebuild_bandwidth_bytes_per_s
-        moved = 0  # read + write bytes, paces the bandwidth cap
+        # Read + write bytes pace the bandwidth cap.
+        pacer = BandwidthPacer(env, runtime.spec.rebuild_bandwidth_bytes_per_s)
         copied = 0
         for video_id, block, replica_index in layout.copies_on_disk(disk):
             placements = runtime.placements(video_id, block)
@@ -137,10 +169,7 @@ class RebuildManager:
                     target=target_disk,
                 )
             copied += 1
-            moved += 2 * size
-            due = started + moved / rate
-            if due > env.now:
-                yield env.timeout(due - env.now)
+            yield from pacer.charge(2 * size)
         duration = env.now - started
         stats.rebuilds_completed += 1
         stats.rebuild_durations.record(duration)

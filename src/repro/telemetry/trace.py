@@ -41,6 +41,13 @@ PROXY_HIT = "proxy.hit"
 PROXY_MISS = "proxy.miss"
 PROXY_FILL = "proxy.fill"
 
+#: Event kinds emitted by the cluster self-healing layer.
+CLUSTER_REBUILD_START = "cluster.rebuild.start"
+CLUSTER_REBUILD_TITLE = "cluster.rebuild.title"
+CLUSTER_REBUILD_END = "cluster.rebuild.end"
+CLUSTER_REJOIN_START = "cluster.rejoin.start"
+CLUSTER_REJOIN_END = "cluster.rejoin.end"
+
 
 class TraceEvent(typing.NamedTuple):
     time: float

@@ -32,7 +32,7 @@ SPEC_REGISTRIES = {
 }
 
 #: Pure value specs: parameters only, no registry behind them.
-VALUE_SPECS = {"FaultSpec", "PrefetchSpec", "ReplicationSpec"}
+VALUE_SPECS = {"FaultSpec", "PrefetchSpec", "ReplicationSpec", "SelfHealSpec"}
 
 
 def public_attributes():

@@ -1,5 +1,7 @@
 """Cluster-wide metrics aggregation invariants."""
 
+import dataclasses
+
 import pytest
 
 from repro.cluster import ClusterConfig, SpiffiCluster, run_cluster
@@ -53,6 +55,44 @@ class TestAggregation:
         cluster, metrics = run
         assert metrics.startup_p99_s >= metrics.startup_p50_s >= 0.0
         assert metrics.startup_slo_attainment == cluster.qos.slo_attainment
+
+
+class TestPerNodeBreakdown:
+    @pytest.fixture(scope="class")
+    def run(self):
+        cluster = SpiffiCluster(small_cluster())
+        metrics = cluster.run()
+        return cluster, metrics
+
+    def test_one_entry_per_member_in_node_order(self, run):
+        cluster, metrics = run
+        assert len(metrics.per_node) == len(cluster.members)
+        assert [entry["node"] for entry in metrics.per_node] == list(
+            range(len(cluster.members))
+        )
+
+    def test_breakdowns_sum_to_the_aggregates(self, run):
+        cluster, metrics = run
+        per_node = metrics.per_node
+        assert sum(e["routed"] for e in per_node) == sum(
+            cluster.workload.stats.routed
+        )
+        assert (
+            sum(e["blocks_delivered"] for e in per_node)
+            == metrics.blocks_delivered
+        )
+        assert sum(e["glitches"] for e in per_node) == metrics.glitches
+        assert all(e["available"] for e in per_node)
+        assert all(
+            0.0 <= e["disk_utilization_mean"] <= 1.0 for e in per_node
+        )
+
+    def test_diagnostic_only_never_in_the_digest(self, run):
+        _, metrics = run
+        assert "per_node" not in metrics.deterministic_dict()
+        # ... so the aggregate dict is identical with the field blanked.
+        stripped = dataclasses.replace(metrics, per_node=())
+        assert stripped.deterministic_dict() == metrics.deterministic_dict()
 
 
 class TestSingleNodePassthrough:

@@ -1,0 +1,99 @@
+"""The edge proxy front door across node outages.
+
+The proxy tier sits in front of the whole cluster, so a member outage
+must not corrupt its accounting: every startup request is still exactly
+one hit or one miss, sessions that lose their member fail over behind
+the unchanged front door, and a healed (re-replicated) copy streams
+through the proxy under its global title id like any construction copy.
+"""
+
+from repro.cluster import PlacementSpec, RouterSpec, SelfHealSpec, SpiffiCluster
+from repro.core.config import MB
+from repro.faults.spec import FaultSpec
+from repro.proxy import ProxySpec
+from tests.cluster.conftest import open_workload, small_cluster
+from tests.cluster.test_failover import OUTAGE
+from tests.cluster.test_selfheal import DOUBLE, heal_config
+
+FRONT_DOOR = ProxySpec(prefix_s=20.0, memory_bytes=48 * MB)
+
+
+def proxied_cluster(faults: FaultSpec = OUTAGE) -> SpiffiCluster:
+    config = small_cluster(
+        placement=PlacementSpec("replicated"),
+        routing=RouterSpec("least-loaded"),
+        workload=open_workload(rate_per_s=1.0),
+        faults=faults,
+        proxy=FRONT_DOOR,
+    )
+    return SpiffiCluster(config)
+
+
+class TestProxyAcrossFailover:
+    def test_accounting_survives_the_outage(self):
+        cluster = proxied_cluster()
+        metrics = cluster.run()
+        stats = cluster.proxy_runtime.stats
+        assert cluster.workload.stats.failed_over > 0
+        assert stats.requests > 0
+        assert stats.hits + stats.misses == stats.requests
+        assert metrics.proxy_requests == stats.requests
+        assert metrics.proxy_hits == stats.hits
+        assert metrics.proxy_misses == stats.misses
+
+    def test_failover_keeps_sessions_behind_the_front_door(self):
+        cluster = proxied_cluster()
+        metrics = cluster.run()
+        stats = cluster.workload.stats
+        assert stats.lost == 0
+        assert metrics.failed_over_sessions == stats.failed_over
+        # Both members carried admissions despite the mid-run outage.
+        assert stats.routed[0] > 0 and stats.routed[1] > 0
+
+    def test_permanent_outage_also_balances(self):
+        permanent = FaultSpec(fail_node_ids=(1,), fail_nodes_at_s=30.0)
+        cluster = proxied_cluster(faults=permanent)
+        cluster.run()
+        stats = cluster.proxy_runtime.stats
+        assert stats.hits + stats.misses == stats.requests
+        assert not cluster.node_available(1)
+
+    def test_runs_are_deterministic(self):
+        first = proxied_cluster().run()
+        second = proxied_cluster().run()
+        assert first.deterministic_dict() == second.deterministic_dict()
+
+
+class TestProxyOverHealedCatalog:
+    def heal_with_proxy(self) -> SpiffiCluster:
+        # Short-video catalog: 20 s prefix covers whole 4 s titles, so
+        # every startup block the proxy holds is a hit.
+        config = heal_config(faults=DOUBLE).replace(
+            proxy=ProxySpec(prefix_s=2.0, memory_bytes=48 * MB)
+        )
+        return SpiffiCluster(config)
+
+    def test_rebuilt_titles_stream_through_the_proxy(self):
+        cluster = self.heal_with_proxy()
+        metrics = cluster.run()
+        stats = cluster.proxy_runtime.stats
+        assert metrics.node_titles_rebuilt == 4
+        assert stats.requests > 0
+        assert stats.hits + stats.misses == stats.requests
+
+    def test_spare_slots_map_back_to_global_titles(self):
+        cluster = self.heal_with_proxy()
+        for item in [
+            work
+            for per_dead in cluster.heal_plan.per_dead.values()
+            for work in per_dead
+        ]:
+            view = cluster.members[item.dest].proxy
+            assert view._to_global[item.dest_local] == item.title
+
+    def test_default_spec_builds_no_front_door(self):
+        cluster = SpiffiCluster(heal_config(faults=DOUBLE))
+        assert cluster.proxy_runtime is None
+        metrics = cluster.run()
+        assert metrics.proxy_requests == 0
+        assert "proxy_requests" not in metrics.deterministic_dict()

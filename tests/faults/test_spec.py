@@ -67,6 +67,58 @@ class TestValidation:
             FaultSpec(failover_penalty_s=-0.1)
 
 
+class TestNodeOutageScript:
+    def test_stagger_must_be_finite_and_nonnegative(self):
+        for bad in (-1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="fail_node_stagger_s"):
+                FaultSpec(
+                    fail_node_ids=(0, 1),
+                    fail_nodes_at_s=10.0,
+                    fail_node_stagger_s=bad,
+                )
+
+    def test_stagger_needs_at_least_two_nodes(self):
+        with pytest.raises(ValueError, match="two fail_node_ids"):
+            FaultSpec(
+                fail_node_ids=(1,),
+                fail_nodes_at_s=10.0,
+                fail_node_stagger_s=5.0,
+            )
+
+    def test_recovery_at_the_stagger_instant_is_refused(self):
+        with pytest.raises(ValueError, match="node_recover_after_s"):
+            FaultSpec(
+                fail_node_ids=(0, 1),
+                fail_nodes_at_s=10.0,
+                fail_node_stagger_s=5.0,
+                node_recover_after_s=5.0,
+            )
+
+    def test_recovery_inside_the_stagger_window_is_allowed(self):
+        spec = FaultSpec(
+            fail_node_ids=(0, 1),
+            fail_nodes_at_s=10.0,
+            fail_node_stagger_s=5.0,
+            node_recover_after_s=4.0,
+        )
+        assert spec.node_outages_enabled
+
+    def test_recovery_without_outages_is_refused(self):
+        with pytest.raises(ValueError, match="nothing to recover"):
+            FaultSpec(node_recover_after_s=5.0)
+
+    def test_label_shows_the_stagger(self):
+        spec = FaultSpec(
+            fail_node_ids=(0, 1),
+            fail_nodes_at_s=10.0,
+            fail_node_stagger_s=5.0,
+        )
+        assert "@5s apart" in spec.label()
+        assert "@" not in FaultSpec(
+            fail_node_ids=(0, 1), fail_nodes_at_s=10.0
+        ).label()
+
+
 class TestIdentity:
     def test_equality_is_field_wise(self):
         assert FaultSpec() == FaultSpec()
