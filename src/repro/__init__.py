@@ -31,6 +31,7 @@ from repro.prefetch import PrefetchSpec
 from repro.proxy import ProxySpec
 from repro.runnable import run
 from repro.sched import SchedulerSpec
+from repro.sharing import SharingSpec
 from repro.terminal import PauseModel
 from repro.workload.spec import ArrivalSpec
 
@@ -49,6 +50,7 @@ __all__ = [
     "ReplacementSpec",
     "RunMetrics",
     "SchedulerSpec",
+    "SharingSpec",
     "SpiffiConfig",
     "SpiffiNode",
     "SpiffiSystem",

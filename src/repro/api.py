@@ -80,6 +80,11 @@ from repro.server.admission import (
     admission_policy_names,
     register_admission_policy,
 )
+from repro.sharing import (
+    SharingSpec,
+    register_sharing_policy,
+    sharing_policy_names,
+)
 from repro.sim.stats import Quantile
 from repro.terminal.pauses import PauseModel
 from repro.workload import (
@@ -120,6 +125,7 @@ __all__ = [
     "SearchResult",
     "SelfHealSpec",
     "SerialExecutor",
+    "SharingSpec",
     "SloPolicy",
     "SpiffiCluster",
     "SpiffiConfig",
@@ -147,6 +153,7 @@ __all__ = [
     "register_router",
     "register_runnable",
     "register_scheduler",
+    "register_sharing_policy",
     "replacement_names",
     "router_names",
     "run",
@@ -156,5 +163,6 @@ __all__ = [
     "run_simulation",
     "runnable_kinds",
     "scheduler_names",
+    "sharing_policy_names",
     "using_runner",
 ]

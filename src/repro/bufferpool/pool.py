@@ -90,6 +90,17 @@ class BufferPool:
         """Non-binding residence check (used for prefetch dedup)."""
         return self.pages.get(key)
 
+    def pin(self, page: Page) -> None:
+        """Take an extra pin on a page already held (or resident).
+
+        Used by the stream-sharing chain registry to keep a
+        predecessor's recently fetched pages resident until the chained
+        successor consumes them; released with :meth:`unpin`.
+        """
+        if self.pages.get(page.key) is not page:
+            raise ValueError(f"pin of page not in this pool: {page!r}")
+        page.pins += 1
+
     def unpin(self, page: Page) -> None:
         if page.pins <= 0:
             raise ValueError(f"unpin of unpinned page {page!r}")

@@ -89,6 +89,18 @@ def collect_cluster_metrics(
         s.rebuild_durations.mean * s.rebuild_durations.count for s in repl_stats
     )
 
+    share_leaders = share_followers = merged = chain_reads = chain_breaks = 0
+    for member in members:
+        share_leaders += member.piggyback.batches_launched
+        share_followers += member.piggyback.terminals_batched
+        if member.sharing is not None:
+            share_leaders += member.sharing.stats.batches_launched
+            share_followers += member.sharing.stats.batch_followers
+            merged += member.sharing.stats.merged_sessions
+            chain_reads += member.sharing.stats.chain_reads
+            chain_breaks += member.sharing.stats.chain_breaks
+    shared_streams = share_followers + merged
+
     sessions = cluster.workload.stats if cluster.workload is not None else None
     qos = cluster.qos
     proxy = cluster.proxy_runtime.stats if cluster.proxy_runtime else None
@@ -201,6 +213,16 @@ def collect_cluster_metrics(
         proxy_misses=proxy.misses if proxy else 0,
         proxy_served_bytes=proxy.served_bytes if proxy else 0,
         proxy_origin_bytes=proxy.origin_bytes if proxy else 0,
+        batches_launched=share_leaders,
+        shared_streams=shared_streams,
+        merged_sessions=merged,
+        chain_reads=chain_reads,
+        chain_breaks=chain_breaks,
+        sharing_fraction=(
+            shared_streams / (share_leaders + shared_streams)
+            if share_leaders + shared_streams
+            else 0.0
+        ),
         failed_over_sessions=sessions.failed_over if sessions else 0,
         lost_sessions=sessions.lost if sessions else 0,
         spilled_sessions=sessions.spilled if sessions else 0,

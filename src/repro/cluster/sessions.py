@@ -152,6 +152,9 @@ class ClusterSessionGenerator:
             member = cluster.members[node_id]
             admission = member.admission
             down = cluster.down_event(node_id)
+            sharing = member.sharing
+            if sharing is not None and not sharing.batching:
+                sharing = None
             # Front-door control traffic: every placement (failover
             # re-routes included) sends one routing message over the
             # interconnect before the member is engaged.
@@ -159,8 +162,34 @@ class ClusterSessionGenerator:
                 cluster.config.node.control_message_bytes
             )
 
+            # --- batched admission: ride the member's open window ------
+            # Batches form *per member*: each node runs its own sharing
+            # runtime, so only arrivals routed to the same replica
+            # holder share a launch.  Failed-over sessions (attempt > 0)
+            # resume immediately on a slot of their own instead of
+            # waiting out another window.
+            batch = None
+            if sharing is not None and attempt == 0:
+                local = cluster.placement.local_id(title, node_id)
+                open_batch = sharing.joinable_batch(local)
+                if open_batch is not None:
+                    # Joining commits the customer: the window is a
+                    # service-side startup delay (like piggybacking),
+                    # not queue time, so only a host outage — never
+                    # patience — pulls a joiner back out of it.
+                    open_batch.join()
+                    yield env.any_of([open_batch.launch, down])
+                    if not open_batch.launch.triggered:
+                        open_batch.withdraw()
+                        sharing.stats.batch_withdrawn += 1
+                        # Host died during the window: re-route.
+                        attempt += 1
+                        stats.failed_over += 1
+                        continue
+                    batch = open_batch
+
             # --- bounded wait queue on the routed member ---------------
-            if (
+            if batch is None and (
                 attempt == 0
                 and admission.would_queue
                 and admission.queue_length >= spec.queue_limit
@@ -178,6 +207,11 @@ class ClusterSessionGenerator:
                 member = cluster.members[node_id]
                 admission = member.admission
                 down = cluster.down_event(node_id)
+                # Sharing runtimes are per member: re-bind to the spill
+                # target's (a leader opens its window over there).
+                sharing = member.sharing
+                if sharing is not None and not sharing.batching:
+                    sharing = None
                 # The redirect is one more front-door control message.
                 yield from cluster.interconnect.transfer(
                     cluster.config.node.control_message_bytes
@@ -187,29 +221,30 @@ class ClusterSessionGenerator:
                 ):
                     stats.balked += 1  # the room filled while we hopped
                     return None
-            slot = admission.request_slot()
-            if not slot.triggered:
-                waits = [slot, down]
-                if not admitted and spec.mean_patience_s > 0:
-                    patience = self._patience_rng.exponential(spec.mean_patience_s)
-                    waits.append(env.timeout(patience))
-                yield env.any_of(waits)
+            if batch is None:
+                slot = admission.request_slot()
                 if not slot.triggered:
-                    admission.cancel(slot)
+                    waits = [slot, down]
+                    if not admitted and spec.mean_patience_s > 0:
+                        patience = self._patience_rng.exponential(spec.mean_patience_s)
+                        waits.append(env.timeout(patience))
+                    yield env.any_of(waits)
+                    if not slot.triggered:
+                        admission.cancel(slot)
+                        if down.triggered:
+                            attempt += 1
+                            stats.failed_over += 1
+                            continue  # host died while we queued: re-route
+                        stats.reneged += 1
+                        return None
                     if down.triggered:
+                        # Admitted a slot on a node that just died (e.g. a
+                        # release cascaded to us post-outage): hand it back
+                        # and take the stream elsewhere.
+                        admission.release_slot()
                         attempt += 1
                         stats.failed_over += 1
-                        continue  # host died while we queued: re-route
-                    stats.reneged += 1
-                    return None
-                if down.triggered:
-                    # Admitted a slot on a node that just died (e.g. a
-                    # release cascaded to us post-outage): hand it back
-                    # and take the stream elsewhere.
-                    admission.release_slot()
-                    attempt += 1
-                    stats.failed_over += 1
-                    continue
+                        continue
             if not admitted:
                 admitted = True
                 stats.admitted += 1
@@ -220,14 +255,46 @@ class ClusterSessionGenerator:
             stats.routed[node_id] += 1
             self.assignments.append((session, title, node_id))
 
-            # --- launch on the member: piggyback, then a terminal ------
+            # --- launch on the member: batch/piggyback, then a terminal
             local = cluster.placement.local_id(title, node_id)
-            launch = member.request_start(local)
-            if launch is not None:
-                yield launch
+            if batch is None and sharing is not None and attempt == 0:
+                # Admitted leader: open the member's launch window; the
+                # batch takes over this session's slot (released by the
+                # last member to depart).
+                batch = sharing.open_batch(local, member.release_admission)
+                yield batch.launch
+            elif batch is None:
+                remaining = (
+                    view_deadline - env.now if view_deadline is not None else None
+                )
+                if remaining is not None and remaining <= 0:
+                    # The whole budget went to waiting (e.g. re-routing
+                    # after an outage): leave before joining a window.
+                    admission.release_slot()
+                    stats.abandoned += 1
+                    return None
+                follower = member.piggyback.has_open_batch(local)
+                launch = member.request_start(local)
+                if launch is not None:
+                    if remaining is not None:
+                        yield env.any_of([launch, env.timeout(remaining)])
+                        if not launch.triggered:
+                            # Budget exhausted inside the window: undo a
+                            # follower's join so the departed customer
+                            # does not inflate the sharing counters.
+                            if follower:
+                                member.piggyback.withdraw(local)
+                            admission.release_slot()
+                            stats.abandoned += 1
+                            return None
+                    else:
+                        yield launch
             if view_deadline is not None and env.now >= view_deadline:
                 # The whole budget went to waiting; the customer leaves.
-                admission.release_slot()
+                if batch is not None:
+                    batch.depart()
+                else:
+                    admission.release_slot()
                 stats.abandoned += 1
                 return None
             terminal = self._spawn_terminal(session, attempt, member)
@@ -248,17 +315,26 @@ class ClusterSessionGenerator:
             yield env.any_of(waits)
             if playback.triggered:
                 stats.completed += 1
-                admission.release_slot()
+                if batch is not None:
+                    batch.depart()
+                else:
+                    admission.release_slot()
                 return None
             if view_deadline is not None and env.now >= view_deadline:
                 terminal.abandon()
-                admission.release_slot()
+                if batch is not None:
+                    batch.depart()
+                else:
+                    admission.release_slot()
                 stats.abandoned += 1
                 return None
             # Host outage mid-stream: resume elsewhere from this frame.
             start_frame = terminal._next_frame
             terminal.abandon()
-            admission.release_slot()
+            if batch is not None:
+                batch.depart()
+            else:
+                admission.release_slot()
             attempt += 1
             stats.failed_over += 1
 

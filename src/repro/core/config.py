@@ -26,6 +26,7 @@ from repro.replication.spec import ReplicationSpec
 from repro.runnable import register_runnable
 from repro.sched.registry import SchedulerSpec
 from repro.server.admission import AdmissionSpec
+from repro.sharing.spec import SharingSpec, sharing_cache_dict
 from repro.storage.drive import DriveParameters
 from repro.terminal.pauses import PauseModel
 from repro.workload.spec import ArrivalSpec
@@ -117,6 +118,14 @@ class SpiffiConfig:
     #: between the terminals and this system's server nodes.
     proxy: ProxySpec = dataclasses.field(default_factory=ProxySpec)
 
+    # --- stream sharing ----------------------------------------------------
+    #: Inert by default: no sharing runtime is built, and runs are
+    #: bit-identical to a build without the sharing subsystem (see
+    #: :mod:`repro.sharing`).  Policies batch same-title admissions,
+    #: merge trailing streams onto leaders, and/or chain later sessions
+    #: off earlier sessions' buffer pages.
+    sharing: SharingSpec = dataclasses.field(default_factory=SharingSpec)
+
     # --- messaging --------------------------------------------------------
     control_message_bytes: int = 128
 
@@ -164,6 +173,17 @@ class SpiffiConfig:
             )
         if not isinstance(self.proxy, ProxySpec):
             raise TypeError(f"proxy must be a ProxySpec, got {self.proxy!r}")
+        if not isinstance(self.sharing, SharingSpec):
+            raise TypeError(
+                f"sharing must be a SharingSpec, got {self.sharing!r}"
+            )
+        if self.sharing.batching and self.piggyback_window_s > 0:
+            raise ValueError(
+                f"sharing policy {self.sharing.policy!r} batches launches "
+                f"itself; it cannot combine with piggyback_window_s="
+                f"{self.piggyback_window_s:g} (two batching mechanisms "
+                f"would fight over the same launch path)"
+            )
         if self.proxy.enabled and self.proxy.memory_bytes < self.stripe_bytes:
             raise ValueError(
                 f"proxy memory of {self.proxy.memory_bytes} bytes holds no "
@@ -318,6 +338,10 @@ def config_cache_dict(config: SpiffiConfig) -> dict:
         del data["proxy"]
     else:
         data["proxy"] = proxy_cache_dict(config.proxy)
+    if config.sharing == SharingSpec():
+        del data["sharing"]
+    else:
+        data["sharing"] = sharing_cache_dict(config.sharing)
     return data
 
 

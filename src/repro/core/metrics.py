@@ -97,6 +97,18 @@ class RunMetrics:
     proxy_misses: int = 0
     proxy_served_bytes: int = 0
     proxy_origin_bytes: int = 0
+    # Stream sharing (all zero unless a sharing policy or the legacy
+    # piggyback window engages; the whole group is dropped from
+    # :meth:`deterministic_dict` while inert, same discipline as the
+    # proxy group).  Piggyback and batched-admission launches both
+    # count here: ``shared_streams`` is every session served without a
+    # disk stream of its own.
+    batches_launched: int = 0
+    shared_streams: int = 0
+    merged_sessions: int = 0
+    chain_reads: int = 0
+    chain_breaks: int = 0
+    sharing_fraction: float = 0.0
     # Cluster failover & self-healing (all zero unless the cluster
     # scripts node outages or enables self_heal; the whole group is
     # dropped from :meth:`deterministic_dict` while inert so earlier
@@ -185,6 +197,14 @@ class RunMetrics:
         "proxy_served_bytes",
         "proxy_origin_bytes",
     )
+    _SHARING_FIELDS = (
+        "batches_launched",
+        "shared_streams",
+        "merged_sessions",
+        "chain_reads",
+        "chain_breaks",
+        "sharing_fraction",
+    )
     _SELF_HEAL_FIELDS = (
         "failed_over_sessions",
         "lost_sessions",
@@ -211,7 +231,11 @@ class RunMetrics:
         values = dataclasses.asdict(self)
         values.pop("wall_time_s")
         values.pop("per_node")
-        for group in (self._PROXY_FIELDS, self._SELF_HEAL_FIELDS):
+        for group in (
+            self._PROXY_FIELDS,
+            self._SHARING_FIELDS,
+            self._SELF_HEAL_FIELDS,
+        ):
             if not any(values[field] for field in group):
                 for field in group:
                     del values[field]
@@ -247,6 +271,15 @@ class RunMetrics:
                 f" proxy_hit_rate={self.proxy_hit_rate:.2f}"
                 f" proxy_served={self.proxy_served_bytes // MB}MB"
             )
+        if self.batches_launched or self.shared_streams:
+            text += (
+                f" shared={self.shared_streams}"
+                f" ({self.sharing_fraction:.2f} of launches)"
+            )
+            if self.merged_sessions:
+                text += f" merged={self.merged_sessions}"
+            if self.chain_reads:
+                text += f" chain_reads={self.chain_reads}"
         if self.failed_over_sessions or self.lost_sessions or self.spilled_sessions:
             text += (
                 f" failed_over={self.failed_over_sessions}"
@@ -270,6 +303,21 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
     sessions = workload.stats if workload is not None else None
     proxy = getattr(system, "proxy_runtime", None)
     proxy_stats = proxy.stats if proxy is not None else None
+    sharing = getattr(system, "sharing", None)
+    piggyback = system.piggyback
+    # Piggyback windows and batched admission are two drivers of the
+    # same physical effect (synchronized launches on shared streams),
+    # so their counters combine into one sharing group.
+    share_leaders = piggyback.batches_launched
+    share_followers = piggyback.terminals_batched
+    merged = chain_reads = chain_breaks = 0
+    if sharing is not None:
+        share_leaders += sharing.stats.batches_launched
+        share_followers += sharing.stats.batch_followers
+        merged = sharing.stats.merged_sessions
+        chain_reads = sharing.stats.chain_reads
+        chain_breaks = sharing.stats.chain_breaks
+    shared_streams = share_followers + merged
     qos = getattr(system, "qos", None)
     pools = [node.pool for node in system.nodes]
     drives = [drive for node in system.nodes for drive in node.drives]
@@ -378,4 +426,14 @@ def collect_metrics(system: "SpiffiSystem", measure_s: float) -> RunMetrics:
         proxy_misses=proxy_stats.misses if proxy_stats else 0,
         proxy_served_bytes=proxy_stats.served_bytes if proxy_stats else 0,
         proxy_origin_bytes=proxy_stats.origin_bytes if proxy_stats else 0,
+        batches_launched=share_leaders,
+        shared_streams=shared_streams,
+        merged_sessions=merged,
+        chain_reads=chain_reads,
+        chain_breaks=chain_breaks,
+        sharing_fraction=(
+            shared_streams / (share_leaders + shared_streams)
+            if share_leaders + shared_streams
+            else 0.0
+        ),
     )

@@ -34,6 +34,7 @@ from repro.replication.runtime import ReplicationRuntime
 from repro.server.admission import AdmissionController
 from repro.server.node import VideoServerNode
 from repro.server.piggyback import PiggybackCoordinator
+from repro.sharing.runtime import SharingRuntime
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 from repro.sim.rng import RandomSource
@@ -265,6 +266,20 @@ class SpiffiNode:
             )
             self.proxy = ProxyView(self.proxy_runtime, self)
 
+        # Stream sharing exists only when the config names a policy, so
+        # the default spec leaves every fast path intact: terminals and
+        # the session generator resolve ``self.sharing`` once at
+        # construction, and a None adds no events and draws no
+        # randomness.  Built before the terminals, which capture the
+        # handle; server nodes get the block hook only when the policy
+        # chains buffers.
+        self.sharing: SharingRuntime | None = None
+        if config.sharing.enabled:
+            self.sharing = config.sharing.build(self.env)
+            if self.sharing.chaining:
+                for node in self.nodes:
+                    node.sharing = self.sharing
+
         # Open-system workload: a session generator replaces the fixed
         # terminal population.  Closed (the default) builds the paper's
         # looping terminals and spawns no workload streams at all; a
@@ -353,6 +368,18 @@ class SpiffiNode:
         self.proxy_runtime.trace = recorder
         return recorder
 
+    def enable_sharing_tracing(self, capacity: int = 100_000) -> "TraceRecorder":
+        """Attach a trace recorder to the sharing runtime (a sharing
+        policy must be configured); returns the recorder for inspection
+        after the run (``batch.*``/``merge.*``/``chain.*`` kinds)."""
+        if self.sharing is None:
+            raise ValueError("config enables no sharing policy; nothing to trace")
+        from repro.telemetry.trace import TraceRecorder
+
+        recorder = TraceRecorder(self.env, capacity=capacity)
+        self.sharing.trace = recorder
+        return recorder
+
     def enable_session_tracing(self, capacity: int = 100_000) -> "TraceRecorder":
         """Attach a trace recorder to the session generator (an open
         workload must be configured); returns the recorder for
@@ -416,6 +443,8 @@ class SpiffiNode:
             self.replication.reset_stats()
         if self.proxy_runtime is not None:
             self.proxy_runtime.reset_stats()
+        if self.sharing is not None:
+            self.sharing.reset_stats()
 
     # ------------------------------------------------------------------
     # Extra probes used by figures

@@ -17,6 +17,7 @@ from repro.experiments.prefixsweep import prefixsweep
 from repro.experiments.resilience import resilience
 from repro.experiments.results import ExperimentResult
 from repro.experiments.saturation import saturation
+from repro.experiments.sharing import sharing
 
 EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "fig08": figures.fig08_zipf,
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, typing.Callable[[], ExperimentResult]] = {
     "faultsweep": faultsweep,
     "availability": availability,
     "saturation": saturation,
+    "sharing": sharing,
     "cluster": cluster,
     "prefixsweep": prefixsweep,
     "resilience": resilience,

@@ -28,6 +28,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.media.library import VideoLibrary
     from repro.netsim.bus import NetworkBus
     from repro.replication.runtime import ReplicationRuntime
+    from repro.sharing.runtime import SharingRuntime
 
 
 class NodeStats:
@@ -73,6 +74,9 @@ class VideoServerNode:
         #: Set by system assembly when the config replicates blocks;
         #: None keeps the single-copy read path bit-identical.
         self.replication: "ReplicationRuntime | None" = None
+        #: Set by system assembly when the sharing policy chains
+        #: buffers; None keeps the reference path bit-identical.
+        self.sharing: "SharingRuntime | None" = None
         #: Constant CPU portion of the reply path, precomputed once so
         #: per-request deadline arithmetic stays off the cost tables.
         costs = cpu_params.costs
@@ -163,6 +167,12 @@ class VideoServerNode:
                 page.disk_request.tighten_deadline(disk_deadline)
             yield page.io_event
 
+        if self.sharing is not None:
+            # Chain registry: pins the predecessor's page / counts the
+            # successor's chained read, now that the page is loaded.
+            self.sharing.note_block(
+                terminal_id, video_id, block, status, page, self.pool
+            )
         self._trigger_prefetch(video_id, block, disk_deadline)
 
         yield from self.cpu.execute(costs.send_message)

@@ -50,6 +50,31 @@ class PiggybackCoordinator:
         self.terminals_joined += 1
         return batch
 
+    def has_open_batch(self, video_id: int) -> bool:
+        """Whether a join for *video_id* right now would be a follower
+        (an open batch exists) rather than an opener."""
+        return video_id in self._open_batches
+
+    def withdraw(self, video_id: int) -> None:
+        """Undo a follower's join: it balked/reneged inside the window.
+
+        For callers whose sessions can leave between joining an
+        *existing* batch and its launch (e.g. a queued customer's
+        patience expiring).  Without this, departed sessions stay in
+        ``terminals_joined``/``terminals_batched`` and skew
+        :attr:`sharing_fraction`.  Only a follower may withdraw — the
+        opener owns the launch and cannot leave.
+        """
+        if video_id not in self._open_batches:
+            raise ValueError(
+                f"withdraw() for video {video_id} with no open batch"
+            )
+        # Clamped, not asserted: a stats reset between join and
+        # withdraw (batch spanning the measurement boundary) legitimately
+        # zeroes the counters first.
+        self.terminals_joined = max(0, self.terminals_joined - 1)
+        self.terminals_batched = max(0, self.terminals_batched - 1)
+
     def _launch_later(self, video_id: int, batch: Event):
         yield self.env.timeout(self.window_s)
         del self._open_batches[video_id]
@@ -63,6 +88,10 @@ class PiggybackCoordinator:
         return self.terminals_batched / self.terminals_joined
 
     def reset_stats(self) -> None:
+        # ``_open_batches`` deliberately survives the reset: a batch
+        # spanning the warmup/measurement boundary is live coordination
+        # state — clearing it would strand every terminal waiting on its
+        # launch event.  Only the counters restart.
         self.batches_launched = 0
         self.terminals_joined = 0
         self.terminals_batched = 0

@@ -1,0 +1,192 @@
+"""Stream-sharing configuration (ROADMAP item 3; paper §8.2 and beyond).
+
+``SharingSpec`` selects how concurrent sessions of the same title share
+disk streams and buffer pages, going past the fixed-window piggyback of
+:mod:`repro.server.piggyback`.  A *policy* names a registered set of
+sharing components; the built-ins compose three mechanisms:
+
+* **batch** — *batched admission*: near-simultaneous same-title
+  arrivals from the open-system workload launch together on one
+  admission slot and (through in-flight buffer merging) one disk
+  stream.  A queued request whose title opens a batch leaves the
+  admission queue and joins the batch instead of consuming a slot.
+* **merge** — *adaptive piggyback merging*: a session starting shortly
+  behind an existing stream of the same title displays slightly fast
+  (``1 + rate_delta`` over the frame schedule) until it catches the
+  leader, then merges onto the leader's buffer pages and returns to
+  nominal rate.
+* **chain** — *buffer chaining* (after the INRIA chaining algorithms):
+  a later session reads blocks from an earlier session's still-resident
+  bufferpool pages; the chain registry pins the predecessor's recent
+  pages (within a bounded budget) until the successor consumes them,
+  and breaks the chain when the predecessor pauses, seeks, abandons,
+  or the pages are evicted anyway.
+
+The default spec is **inert**: no runtime is built, no events are
+added, no randomness is drawn, and runs are bit-identical to a build
+without the sharing subsystem at all (pinned by golden-digest tests),
+following the ``FaultSpec``/``ProxySpec``/``ArrivalSpec`` convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Component names a policy may compose.
+BATCH = "batch"
+MERGE = "merge"
+CHAIN = "chain"
+_COMPONENTS = (BATCH, MERGE, CHAIN)
+
+_REGISTRY: dict[str, frozenset[str]] = {}
+
+
+def register_sharing_policy(
+    name: str, components: typing.Iterable[str]
+) -> None:
+    """Make *name* selectable via ``SharingSpec(name)``.
+
+    *components* is any subset of ``("batch", "merge", "chain")``; the
+    named policy enables exactly those mechanisms.  An empty set is the
+    inert policy (only ``"none"`` ships with it, but a plugin may alias
+    it).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"sharing policy name must be a non-empty string, got {name!r}"
+        )
+    parts = frozenset(components)
+    unknown = parts - set(_COMPONENTS)
+    if unknown:
+        raise ValueError(
+            f"unknown sharing components {sorted(unknown)}; "
+            f"choose from {_COMPONENTS}"
+        )
+    _REGISTRY[name] = parts
+
+
+def sharing_policy_names() -> tuple[str, ...]:
+    """Every currently registered policy name (registration order)."""
+    return tuple(_REGISTRY)
+
+
+register_sharing_policy("none", ())
+register_sharing_policy("batch", (BATCH,))
+register_sharing_policy("merge", (MERGE,))
+register_sharing_policy("chain", (CHAIN,))
+register_sharing_policy("batch+chain", (BATCH, CHAIN))
+register_sharing_policy("batch+merge+chain", (BATCH, MERGE, CHAIN))
+
+
+@dataclasses.dataclass(frozen=True)
+class SharingSpec:
+    """Which stream-sharing policy the system runs, with its knobs."""
+
+    #: Registered policy name (see :func:`register_sharing_policy`).
+    policy: str = "none"
+
+    # --- batched admission ------------------------------------------------
+    #: Seconds a newly opened batch waits for more same-title arrivals
+    #: before every member launches together.
+    window_s: float = 2.0
+    #: Largest batch (leader included); 0 = unbounded.
+    max_batch: int = 0
+
+    # --- adaptive merging -------------------------------------------------
+    #: Bounded display-rate speedup of a trailing session while it
+    #: chases a leader (0.05 = 5% fast, imperceptible in practice).
+    rate_delta: float = 0.05
+    #: A new session only chases a leader at most this far ahead.
+    merge_max_lag_s: float = 60.0
+
+    # --- buffer chaining --------------------------------------------------
+    #: A new session only chains to a predecessor at most this far
+    #: ahead (the pages to bridge must plausibly still be resident).
+    chain_max_lag_s: float = 30.0
+    #: Most predecessor pages one chain may hold pinned at a time —
+    #: bounds how much pool memory a single chain can monopolise.
+    chain_pin_limit_blocks: int = 32
+
+    def __post_init__(self) -> None:
+        if self.policy not in _REGISTRY:
+            raise ValueError(
+                f"unknown sharing policy {self.policy!r}; "
+                f"choose from {sharing_policy_names()}"
+            )
+        if self.window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {self.window_s}")
+        if self.batching and self.window_s == 0:
+            raise ValueError(
+                f"policy {self.policy!r} batches admissions and needs "
+                f"window_s > 0"
+            )
+        if self.max_batch < 0:
+            raise ValueError(f"max_batch must be >= 0, got {self.max_batch}")
+        if not 0.0 < self.rate_delta <= 0.5:
+            raise ValueError(
+                f"rate_delta must be in (0, 0.5], got {self.rate_delta}"
+            )
+        if self.merge_max_lag_s <= 0:
+            raise ValueError(
+                f"merge_max_lag_s must be positive, got {self.merge_max_lag_s}"
+            )
+        if self.chain_max_lag_s <= 0:
+            raise ValueError(
+                f"chain_max_lag_s must be positive, got {self.chain_max_lag_s}"
+            )
+        if self.chain_pin_limit_blocks < 1:
+            raise ValueError(
+                f"chain_pin_limit_blocks must be >= 1, "
+                f"got {self.chain_pin_limit_blocks}"
+            )
+
+    @property
+    def components(self) -> frozenset[str]:
+        """The sharing mechanisms the named policy enables."""
+        return _REGISTRY[self.policy]
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any sharing runtime is built at all."""
+        return bool(self.components)
+
+    @property
+    def batching(self) -> bool:
+        return BATCH in self.components
+
+    @property
+    def merging(self) -> bool:
+        return MERGE in self.components
+
+    @property
+    def chaining(self) -> bool:
+        return CHAIN in self.components
+
+    def build(self, env):
+        """A fresh :class:`~repro.sharing.runtime.SharingRuntime`."""
+        from repro.sharing.runtime import SharingRuntime
+
+        return SharingRuntime(env, self)
+
+    def label(self) -> str:
+        """Short human-readable tag for experiment tables."""
+        if not self.enabled:
+            return "no-sharing"
+        text = self.policy
+        if self.batching:
+            text += f"({self.window_s:g}s)"
+        return text
+
+
+def sharing_cache_dict(spec: SharingSpec) -> dict:
+    """Canonical cache/digest form of a (non-default) spec."""
+    return {
+        "policy": spec.policy,
+        "window_s": spec.window_s,
+        "max_batch": spec.max_batch,
+        "rate_delta": spec.rate_delta,
+        "merge_max_lag_s": spec.merge_max_lag_s,
+        "chain_max_lag_s": spec.chain_max_lag_s,
+        "chain_pin_limit_blocks": spec.chain_pin_limit_blocks,
+    }

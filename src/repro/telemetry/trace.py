@@ -41,6 +41,16 @@ PROXY_HIT = "proxy.hit"
 PROXY_MISS = "proxy.miss"
 PROXY_FILL = "proxy.fill"
 
+#: Event kinds emitted by the stream-sharing subsystem.
+BATCH_OPEN = "batch.open"
+BATCH_JOIN = "batch.join"
+BATCH_LAUNCH = "batch.launch"
+MERGE_START = "merge.start"
+MERGE_DONE = "merge.done"
+MERGE_ABORT = "merge.abort"
+CHAIN_FORM = "chain.form"
+CHAIN_BREAK = "chain.break"
+
 #: Event kinds emitted by the cluster self-healing layer.
 CLUSTER_REBUILD_START = "cluster.rebuild.start"
 CLUSTER_REBUILD_TITLE = "cluster.rebuild.title"

@@ -67,6 +67,13 @@ class Terminal:
         # Proxied fabrics expose a prefix-cache proxy serving each
         # title's head; None (the default) keeps the direct path.
         self._proxy = getattr(fabric, "proxy", None)
+        # Stream-sharing fabrics expose a sharing runtime; the terminal
+        # reports playback lifecycle events only when the policy merges
+        # or chains streams, so everything else keeps the direct path.
+        sharing = getattr(fabric, "sharing", None)
+        self._sharing = (
+            sharing if sharing is not None and sharing.tracks_streams else None
+        )
         self.access = access
         self.rng = rng
         self.memory_bytes = memory_bytes
@@ -107,6 +114,11 @@ class Terminal:
         self._next_request = 0
         self._next_frame = 0
         self._anchor = 0.0
+        #: The display clock's effective frame rate.  Exactly
+        #: ``video.fps`` except while an adaptive merge chases a leader
+        #: (see :meth:`set_display_rate`), so the default arithmetic is
+        #: bit-identical to reading ``video.fps`` directly.
+        self._display_fps = 0.0
         self._playing = False
 
         self._slot_gate = Gate(env)
@@ -155,6 +167,8 @@ class Terminal:
         video = self.fabric.library[video_id]
         self._begin_session(video, start_frame)
         epoch = self._epoch
+        if self._sharing is not None:
+            self._sharing.note_play_start(self, video_id)
         session_start = (
             self.env.now if self.startup_anchor is None else self.startup_anchor
         )
@@ -176,12 +190,14 @@ class Terminal:
         # The anchor is the (virtual) time frame 0 displayed; display of
         # frame f is due at anchor + f/fps, which makes the first frame
         # due right now even for a mid-video start.
-        self._anchor = self.env.now - self._next_frame / video.fps
+        self._anchor = self.env.now - self._next_frame / self._display_fps
         self._playing = True
         yield from self._display(epoch, pauses)
         self._playing = False
         if self._epoch == epoch and self._next_frame >= video.frame_count:
             self.stats.videos_completed += 1
+        if self._sharing is not None:
+            self._sharing.note_play_end(self, video_id)
         return None
 
     def _begin_session(self, video: Video, start_frame: int = 0) -> None:
@@ -204,6 +220,7 @@ class Terminal:
         self._outstanding = 0
         self._next_request = start_block
         self._next_frame = start_frame
+        self._display_fps = video.fps
         self._playing = False
 
     # ------------------------------------------------------------------
@@ -214,7 +231,6 @@ class Terminal:
         sequence = self._video.sequence
         schedule = self._schedule
         frame_count = self._video.frame_count
-        fps = self._video.fps
         pause_index = 0
 
         while self._next_frame < frame_count and self._epoch == epoch:
@@ -225,6 +241,8 @@ class Terminal:
                 duration = pauses[pause_index][1]
                 pause_index += 1
                 self.stats.pauses_taken += 1
+                if self._sharing is not None:
+                    self._sharing.note_pause(self)
                 yield env.timeout(duration)
                 self._anchor += duration
                 continue
@@ -244,7 +262,7 @@ class Terminal:
                 # Stop at the next pause point; the branch above takes
                 # the pause once display reaches it.
                 target = min(target, pauses[pause_index][0])
-            due = self._anchor + target / fps
+            due = self._anchor + target / self._display_fps
             if due > env.now:
                 yield env.timeout(due - env.now)
             if self._epoch != epoch:
@@ -282,7 +300,7 @@ class Terminal:
         self._slot_gate.open()
         yield from self._wait_primed()
         self.stats.glitch_durations.record(self.env.now - started)
-        self._anchor = self.env.now - self._next_frame / self._video.fps
+        self._anchor = self.env.now - self._next_frame / self._display_fps
         return None
 
     def _edge_frame_span_blocks(self) -> int:
@@ -352,8 +370,8 @@ class Terminal:
         if self._playing:
             base = self._anchor
         else:
-            base = self.env.now - self._next_frame / self._video.fps
-        return base + first_frame / self._video.fps
+            base = self.env.now - self._next_frame / self._display_fps
+        return base + first_frame / self._display_fps
 
     def _fetch_block(self, block: int, epoch: int):
         env = self.env
@@ -419,8 +437,32 @@ class Terminal:
         if self._video is None:
             raise ValueError("abandon() with no active video")
         self._epoch += 1
+        if self._sharing is not None:
+            self._sharing.note_abandon(self)
         self._slot_gate.open()
         self._data_gate.open()
+
+    def set_display_rate(self, scale: float) -> None:
+        """Scale the display clock (adaptive piggyback merging).
+
+        A trailing session chasing a leader displays at ``1 + delta``
+        times nominal rate; on merge the rate snaps back to 1.  The
+        clock is re-anchored so the current (continuous) position is
+        preserved and only *future* frames come due at the new rate.
+        The change takes effect at the display loop's next wakeup — a
+        block-granular approximation, like the rest of playback.
+        """
+        if self._video is None:
+            raise ValueError("set_display_rate() with no active video")
+        nominal = self._video.fps
+        # At scale 1.0 assign the video's fps *object* directly (never
+        # multiply) so an unmerged run's float arithmetic stays
+        # bit-identical to a build without the sharing subsystem.
+        fps = nominal if scale == 1.0 else nominal * scale
+        position = (self.env.now - self._anchor) * self._display_fps
+        self._display_fps = fps
+        if self._playing:
+            self._anchor = self.env.now - position / fps
 
     # ------------------------------------------------------------------
     # Interactive controls (§8.1)
@@ -443,6 +485,11 @@ class Terminal:
         schedule = self._schedule
         self._epoch += 1
         epoch = self._epoch
+        if self._sharing is not None:
+            self._sharing.note_seek(self)
+        # A pending merge chase retires on the epoch change; the display
+        # clock returns to nominal rate at the new position.
+        self._display_fps = self._video.fps
         start_byte = self._video.sequence.cumulative_list[frame]
         block = min(start_byte // self.block_size, schedule.block_count - 1)
         self._delivered = bytearray(schedule.block_count)
@@ -463,7 +510,7 @@ class Terminal:
         """Generator: re-prime at the seek position and play to the end."""
         epoch = self._epoch
         yield from self._wait_primed()
-        self._anchor = self.env.now - self._next_frame / self._video.fps
+        self._anchor = self.env.now - self._next_frame / self._display_fps
         self._playing = True
         yield from self._display(epoch, pauses or [])
         self._playing = False

@@ -29,6 +29,7 @@ SPEC_REGISTRIES = {
     "ReplacementSpec": ("replacement_names", "register_replacement"),
     "RouterSpec": ("router_names", "register_router"),
     "SchedulerSpec": ("scheduler_names", "register_scheduler"),
+    "SharingSpec": ("sharing_policy_names", "register_sharing_policy"),
 }
 
 #: Pure value specs: parameters only, no registry behind them.

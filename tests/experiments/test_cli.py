@@ -10,7 +10,7 @@ class TestCli:
             "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
             "fig15", "fig16", "fig17", "fig18", "fig19",
             "table2", "table3", "sec82", "faultsweep", "availability",
-            "saturation", "cluster", "prefixsweep", "resilience",
+            "saturation", "sharing", "cluster", "prefixsweep", "resilience",
         }
         assert expected == set(EXPERIMENTS)
 

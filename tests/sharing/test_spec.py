@@ -1,0 +1,108 @@
+"""SharingSpec: validation, the policy registry, and config wiring."""
+
+import pytest
+
+from repro.core.config import SpiffiConfig, config_cache_dict
+from repro.sharing import (
+    SharingSpec,
+    register_sharing_policy,
+    sharing_policy_names,
+)
+from repro.sharing.spec import BATCH, CHAIN, MERGE, sharing_cache_dict
+
+
+class TestValidation:
+    def test_default_is_inert(self):
+        spec = SharingSpec()
+        assert spec.policy == "none"
+        assert not spec.enabled
+        assert spec.components == frozenset()
+        assert not (spec.batching or spec.merging or spec.chaining)
+
+    def test_builtin_policies_registered(self):
+        names = sharing_policy_names()
+        for name in ("none", "batch", "merge", "chain", "batch+chain",
+                     "batch+merge+chain"):
+            assert name in names
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown sharing policy"):
+            SharingSpec(policy="telepathy")
+
+    def test_components_follow_the_policy(self):
+        spec = SharingSpec(policy="batch+merge+chain")
+        assert spec.components == frozenset({BATCH, MERGE, CHAIN})
+        assert spec.batching and spec.merging and spec.chaining
+        assert SharingSpec(policy="merge").components == frozenset({MERGE})
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("window_s", -1.0),
+            ("max_batch", -1),
+            ("rate_delta", 0.0),
+            ("rate_delta", 0.75),
+            ("merge_max_lag_s", 0.0),
+            ("chain_max_lag_s", 0.0),
+            ("chain_pin_limit_blocks", 0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SharingSpec(policy="batch+merge+chain", **{field: value})
+
+    def test_batching_needs_a_positive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            SharingSpec(policy="batch", window_s=0.0)
+
+    def test_register_rejects_bad_names_and_components(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            register_sharing_policy("", (BATCH,))
+        with pytest.raises(ValueError, match="unknown sharing components"):
+            register_sharing_policy("test-bogus", ("teleport",))
+
+    def test_register_custom_policy(self):
+        register_sharing_policy("test-batch-only", (BATCH,))
+        try:
+            spec = SharingSpec(policy="test-batch-only")
+            assert spec.batching and not spec.merging
+        finally:
+            from repro.sharing import spec as spec_module
+
+            del spec_module._REGISTRY["test-batch-only"]
+
+    def test_labels(self):
+        assert SharingSpec().label() == "no-sharing"
+        assert "2" in SharingSpec(policy="batch", window_s=2.0).label()
+
+
+class TestConfigWiring:
+    def test_config_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="SharingSpec"):
+            SpiffiConfig(sharing="batch")
+
+    def test_batching_conflicts_with_piggyback_window(self):
+        with pytest.raises(ValueError, match="piggyback"):
+            SpiffiConfig(
+                sharing=SharingSpec(policy="batch"), piggyback_window_s=2.0
+            )
+
+    def test_merge_only_composes_with_piggyback_window(self):
+        config = SpiffiConfig(
+            sharing=SharingSpec(policy="merge"), piggyback_window_s=2.0
+        )
+        assert config.sharing.merging
+
+    def test_inert_spec_omitted_from_cache_dict(self):
+        data = config_cache_dict(SpiffiConfig())
+        assert "sharing" not in data
+        explicit = config_cache_dict(SpiffiConfig(sharing=SharingSpec()))
+        assert explicit == data
+
+    def test_active_spec_serializes_every_field(self):
+        spec = SharingSpec(policy="batch+chain", window_s=3.0, max_batch=8)
+        data = config_cache_dict(SpiffiConfig(sharing=spec))
+        assert data["sharing"] == sharing_cache_dict(spec)
+        assert data["sharing"]["policy"] == "batch+chain"
+        assert data["sharing"]["window_s"] == 3.0
+        assert data["sharing"]["max_batch"] == 8
