@@ -90,7 +90,9 @@ class SpiffiNode:
         closed_terminals: bool = True,
     ) -> None:
         self.config = config
-        self.env = env if env is not None else Environment()
+        self.env = (
+            env if env is not None else Environment(queue=config.sim.build_queue())
+        )
         rng = RandomSource(config.seed)
         self._rng = rng
         video_count = (

@@ -7,6 +7,13 @@ generators that yield :class:`Event` objects to an :class:`Environment`.
 
 from repro.sim.environment import Environment, NORMAL, URGENT
 from repro.sim.errors import EventLifecycleError, Interrupt, SimError, StopSimulation
+from repro.sim.eventqueue import (
+    CalendarEventQueue,
+    HeapEventQueue,
+    SimSpec,
+    event_queue_names,
+    register_event_queue,
+)
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Gate, PriorityStore, Resource, Store
@@ -17,11 +24,13 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "BusyTracker",
+    "CalendarEventQueue",
     "DiscreteSampler",
     "Environment",
     "Event",
     "EventLifecycleError",
     "Gate",
+    "HeapEventQueue",
     "Interrupt",
     "NORMAL",
     "PriorityStore",
@@ -30,6 +39,7 @@ __all__ = [
     "RandomSource",
     "Resource",
     "SimError",
+    "SimSpec",
     "StopSimulation",
     "Store",
     "Tally",
@@ -37,5 +47,7 @@ __all__ = [
     "Timeout",
     "URGENT",
     "WindowedRate",
+    "event_queue_names",
+    "register_event_queue",
     "zipf_weights",
 ]

@@ -8,16 +8,19 @@ them when those events fire.
 Hot-path notes: every simulated disk I/O, network transfer, and frame
 consumed bottoms out in a handful of ``Timeout``/``Event`` schedules, so
 this module trades a little indirection for speed — ``__slots__``
-everywhere, heap pushes inlined into the trigger methods instead of
-routed through ``Environment._schedule``, and condition values built
-lazily.  All of it is pinned bit-identical by the golden-digest tests in
-``tests/sim/test_golden_digest.py``.
+everywhere, queue pushes inlined into the trigger methods as a single
+call through the environment's pre-bound ``_push`` (the C ``heappush``
+itself for the default heap backend; see
+:mod:`repro.sim.eventqueue`) instead of routed through
+``Environment._schedule``, and condition values built lazily.  All of
+it is pinned bit-identical by the golden-digest tests in
+``tests/sim/test_golden_digest.py`` and by the cross-backend
+differential harness in ``tests/sim/harness.py``.
 """
 
 from __future__ import annotations
 
 import typing
-from heapq import heappush
 
 from repro.sim.errors import EventLifecycleError
 
@@ -90,7 +93,7 @@ class Event:
         self._value = value
         env = self.env
         env._seq += 1
-        heappush(env._queue, (env._now, NORMAL, env._seq, self))
+        env._push((env._now, NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -108,7 +111,7 @@ class Event:
         self._value = exception
         env = self.env
         env._seq += 1
-        heappush(env._queue, (env._now, NORMAL, env._seq, self))
+        env._push((env._now, NORMAL, env._seq, self))
         return self
 
     def defuse(self) -> None:
@@ -142,7 +145,7 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         env._seq += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
+        env._push((env._now + delay, NORMAL, env._seq, self))
 
 
 class Condition(Event):
@@ -178,7 +181,7 @@ class Condition(Event):
         self._fired = fired
         env = self.env
         env._seq += 1
-        heappush(env._queue, (env._now, NORMAL, env._seq, self))
+        env._push((env._now, NORMAL, env._seq, self))
 
 
 class AnyOf(Condition):

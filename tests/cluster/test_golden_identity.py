@@ -8,7 +8,9 @@ event count — under direct execution, the serial executor (``--jobs
 wrapper adds no simulation events and draws no randomness.
 """
 
-from repro.cluster import ClusterConfig, run_cluster
+import pytest
+
+from repro.cluster import ClusterConfig, PlacementSpec, RouterSpec, run_cluster
 from repro.experiments.results import config_digest
 from repro.experiments.runner import (
     ProcessExecutor,
@@ -16,6 +18,8 @@ from repro.experiments.runner import (
     RunRequest,
     SerialExecutor,
 )
+from repro.sim import SimSpec, event_queue_names
+from repro.workload.spec import ArrivalSpec
 from tests.sim.test_golden_digest import (
     GOLDEN_CONFIG_DIGEST,
     GOLDEN_EVENTS_PROCESSED,
@@ -61,3 +65,69 @@ def test_cluster_config_digest_is_not_the_member_digest():
     # Identical *results*, distinct cache identity: a cluster run must
     # never collide with the standalone run in the run cache.
     assert config_digest(one_node_cluster()) != GOLDEN_CONFIG_DIGEST
+
+
+# ----------------------------------------------------------------------
+# Timer-storm-heavy cluster: the event-queue seam at cluster scale.
+# An open 3-node cluster where most kernel events are timers — arrival
+# draws, short patience clocks, view-duration churn — i.e. exactly the
+# event mix the calendar backend exists for.  Both backends must
+# reproduce the digests below bit-for-bit (recorded under the heap
+# default; re-record with ``print_storm_current()`` after intentional
+# behaviour changes).
+# ----------------------------------------------------------------------
+GOLDEN_STORM_CONFIG_DIGEST = (
+    "f493c8b73aceee6ccdd63473a92ae9708cf34ad588d5413c5352013db176d28b"
+)
+GOLDEN_STORM_METRICS_DIGEST = (
+    "9ebe95656e4017bc4bc466d40fc25aa8e68bcdfa83616550a41a0f8f9d64450a"
+)
+GOLDEN_STORM_EVENTS_PROCESSED = 46104
+
+
+def storm_cluster(backend: str = "heap") -> ClusterConfig:
+    node = midsize_config().replace(
+        terminals=1,  # ignored: the open cluster workload owns sessions
+        measure_s=45.0,
+        sim=SimSpec(event_queue=backend),
+    )
+    return ClusterConfig(
+        node=node,
+        nodes=3,
+        placement=PlacementSpec("replicated"),
+        routing=RouterSpec("least-loaded"),
+        workload=ArrivalSpec(
+            process="poisson",
+            rate_per_s=3.0,
+            mean_view_duration_s=30.0,
+            queue_limit=12,
+            mean_patience_s=2.0,
+        ),
+    )
+
+
+@pytest.mark.parametrize("backend", event_queue_names())
+def test_storm_cluster_identity_across_backends(backend):
+    assert config_digest(storm_cluster(backend)) == GOLDEN_STORM_CONFIG_DIGEST
+    metrics = run_cluster(storm_cluster(backend))
+    assert metrics.events_processed == GOLDEN_STORM_EVENTS_PROCESSED
+    assert metrics_digest(metrics) == GOLDEN_STORM_METRICS_DIGEST
+
+
+@pytest.mark.parametrize("backend", event_queue_names())
+def test_storm_cluster_identity_jobs_4(backend):
+    runner = Runner(executor=ProcessExecutor(jobs=4), cache=None)
+    try:
+        outcome = runner.run_batch([RunRequest(storm_cluster(backend))])[0]
+    finally:
+        runner.executor.close()
+    assert not outcome.failed, outcome.error
+    assert outcome.metrics.events_processed == GOLDEN_STORM_EVENTS_PROCESSED
+    assert metrics_digest(outcome.metrics) == GOLDEN_STORM_METRICS_DIGEST
+
+
+def print_storm_current() -> None:  # pragma: no cover - re-recording helper
+    metrics = run_cluster(storm_cluster())
+    print("config digest: ", config_digest(storm_cluster()))
+    print("metrics digest:", metrics_digest(metrics))
+    print("events:        ", metrics.events_processed)

@@ -6,7 +6,8 @@ pushes, lazy condition values).  A mid-size ``SpiffiSystem`` run must
 reproduce them bit-for-bit — including ``events_processed``, so the
 optimized kernel is not even allowed to schedule a different number of
 events — under both the serial executor (``--jobs 1``) and the process
-pool (``--jobs 4``).
+pool (``--jobs 4``), and under **every** registered event-queue backend:
+the queue seam swaps the scheduling data structure, never the schedule.
 
 If an intentional simulation-behaviour change lands later, re-record
 with::
@@ -17,6 +18,8 @@ with::
 import hashlib
 import json
 
+import pytest
+
 from repro import MB, SpiffiConfig
 from repro.experiments.results import config_digest
 from repro.experiments.runner import (
@@ -25,6 +28,7 @@ from repro.experiments.runner import (
     RunRequest,
     SerialExecutor,
 )
+from repro.sim import SimSpec, event_queue_names
 
 #: sha256 of the sorted-JSON ``RunMetrics.deterministic_dict()`` of
 #: ``midsize_config()``, recorded pre-optimization.
@@ -65,10 +69,10 @@ def metrics_digest(metrics) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def run_with(executor):
+def run_with(executor, config=None):
     runner = Runner(executor=executor, cache=None)
     try:
-        outcome = runner.run_batch([RunRequest(midsize_config())])[0]
+        outcome = runner.run_batch([RunRequest(config or midsize_config())])[0]
     finally:
         executor.close()
     assert not outcome.failed, outcome.error
@@ -79,14 +83,26 @@ def test_config_digest_pinned():
     assert config_digest(midsize_config()) == GOLDEN_CONFIG_DIGEST
 
 
-def test_identity_jobs_1():
-    metrics = run_with(SerialExecutor())
+@pytest.mark.parametrize("backend", event_queue_names())
+def test_backend_choice_never_changes_the_config_digest(backend):
+    """The event queue is pure mechanism: a cached run under one
+    backend is valid for all, so the digest must not see the spec."""
+    config = midsize_config().replace(sim=SimSpec(event_queue=backend))
+    assert config_digest(config) == GOLDEN_CONFIG_DIGEST
+
+
+@pytest.mark.parametrize("backend", event_queue_names())
+def test_identity_jobs_1(backend):
+    config = midsize_config().replace(sim=SimSpec(event_queue=backend))
+    metrics = run_with(SerialExecutor(), config)
     assert metrics.events_processed == GOLDEN_EVENTS_PROCESSED
     assert metrics_digest(metrics) == GOLDEN_METRICS_DIGEST
 
 
-def test_identity_jobs_4():
-    metrics = run_with(ProcessExecutor(jobs=4))
+@pytest.mark.parametrize("backend", event_queue_names())
+def test_identity_jobs_4(backend):
+    config = midsize_config().replace(sim=SimSpec(event_queue=backend))
+    metrics = run_with(ProcessExecutor(jobs=4), config)
     assert metrics.events_processed == GOLDEN_EVENTS_PROCESSED
     assert metrics_digest(metrics) == GOLDEN_METRICS_DIGEST
 

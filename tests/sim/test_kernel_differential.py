@@ -1,114 +1,149 @@
-"""Differential test: the optimized kernel vs the naive reference.
+"""Differential tests: every kernel backend vs the naive reference.
 
-The same seeded random scenario — a tangle of sleeping, signalling,
-spawning, and waiting processes built only from the API surface the two
-kernels share — runs on ``repro.sim.Environment`` and on the ~60-line
-sorted-list interpreter in ``reference_kernel.py``.  Every observable
-must match at every seed: the step-by-step execution log (who resumed,
-when, with what value), process completion order and return values, the
-final clock, and the number of events processed.
+The seeded programs in ``tests/sim/harness.py`` — random process
+tangles and queue-stress event programs built only from the API surface
+the kernels share — replay on ``repro.sim.Environment`` under every
+event-queue backend and on the ~60-line sorted-list interpreter in
+``reference_kernel.py``.  Every observable must match at every seed:
+the step-by-step execution log (who resumed, when, with what value),
+process completion order and return values, the final clock, the number
+of events processed, and the pending count at the deadline.
+
+The extended kernel surface (interrupts, URGENT delivery) is beyond the
+reference interpreter, so those programs replay two-way: every
+alternative backend against the heap default.
 """
 
-import random
+from bisect import insort
 
 import pytest
 
-from repro.sim import Environment
+from repro.sim import Environment, SimError, SimSpec, register_event_queue
 
+from tests.sim.harness import (
+    BACKEND_NAMES,
+    EVENT_PROGRAM_HORIZON,
+    build_event_program,
+    make_env,
+    observation_digest,
+    replay_random_graph,
+    run_on,
+)
 from tests.sim.reference_kernel import RefEnvironment
 
 SEEDS = range(25)
 
 
-def build_scenario(env, seed: int, log: list) -> list:
-    """Spawn the same random process graph on either kernel.
-
-    Uses only the common surface: ``timeout``/``event``/``process``,
-    ``succeed``, ``triggered``, and waiting on processes.  Returns the
-    top-level processes so completions can be compared.
-    """
-    rng = random.Random(seed)
-    shared = [env.event() for _ in range(rng.randint(1, 3))]
-    top = []
-
-    def chore(name, stream):
-        total = 0.0
-        for step in range(stream.randint(1, 5)):
-            roll = stream.random()
-            if roll < 0.5:
-                delay = round(stream.uniform(0.0, 6.0), 3)
-                value = yield env.timeout(delay, value=delay)
-                total += value
-                log.append((name, step, "slept", env.now, value))
-            elif roll < 0.65:
-                event = shared[stream.randrange(len(shared))]
-                if not event.triggered:
-                    event.succeed(value=f"{name}/{step}")
-                    log.append((name, step, "signalled", env.now))
-                yield env.timeout(round(stream.uniform(0.0, 1.0), 3))
-            elif roll < 0.8:
-                event = shared[stream.randrange(len(shared))]
-                if event.triggered:
-                    value = yield event  # often already processed: the
-                    # wait-on-finished immediate-resume path on both sides
-                    log.append((name, step, "observed", env.now, value))
-                else:
-                    yield env.timeout(round(stream.uniform(0.0, 2.0), 3))
-                    log.append((name, step, "paused", env.now))
-            else:
-                child = env.process(child_chore(f"{name}.c{step}", stream))
-                value = yield child
-                log.append((name, step, "joined", env.now, value))
-        return (name, round(total, 3))
-
-    def child_chore(name, stream):
-        yield env.timeout(round(stream.uniform(0.0, 3.0), 3))
-        log.append((name, "child-done", env.now))
-        return name
-
-    for index in range(rng.randint(2, 7)):
-        stream = random.Random(rng.getrandbits(64))
-        process = env.process(chore(f"p{index}", stream), name=f"p{index}")
-        process.callbacks.append(
-            lambda event, index=index: log.append(("complete", index, env.now))
-        )
-        top.append(process)
-
-    # Late same-timestamp timeouts stress FIFO agreement too.
-    tie = round(rng.uniform(0.0, 4.0), 3)
-    for extra in range(rng.randint(0, 4)):
-        timeout = env.timeout(tie, value=extra)
-        timeout.callbacks.append(
-            lambda event, extra=extra: log.append(("tie", extra, env.now))
-        )
-    return top
-
-
-def run_on(env_class, seed: int):
-    env = env_class()
-    log: list = []
-    top = build_scenario(env, seed, log)
-    env.run()
-    completions = [
-        (process.value if process.processed else None) for process in top
-    ]
-    return {
-        "log": log,
-        "completions": completions,
-        "now": env.now,
-        "events_processed": env.events_processed,
-    }
-
-
 @pytest.mark.parametrize("seed", SEEDS)
 def test_kernels_agree(seed):
+    """The default kernel vs the reference on the process-tangle programs."""
     fast = run_on(Environment, seed)
     reference = run_on(RefEnvironment, seed)
     assert fast["log"] == reference["log"], f"execution logs diverge (seed {seed})"
-    assert fast["completions"] == reference["completions"]
-    assert fast["now"] == reference["now"]
-    assert fast["events_processed"] == reference["events_processed"]
+    assert fast == reference
     assert fast["events_processed"] > 0
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(12))
+def test_backend_matrix_agrees_with_reference(seed, backend):
+    """Every backend (heap, calendar at every width) vs the reference."""
+    observed = run_on(lambda: make_env(backend), seed)
+    reference = run_on(RefEnvironment, seed)
+    assert observed == reference, f"seed {seed} diverges on {backend}"
+    assert observation_digest(observed) == observation_digest(reference)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(12))
+def test_event_programs_three_way(seed, backend):
+    """Queue-stress programs: ties, zero-delay cascades, far-future.
+
+    Replayed to a fixed deadline so the far-future events stay pending:
+    the backends must also agree on what *didn't* run.
+    """
+    observed = run_on(
+        lambda: make_env(backend),
+        seed,
+        build=build_event_program,
+        until=EVENT_PROGRAM_HORIZON,
+    )
+    reference = run_on(
+        RefEnvironment, seed, build=build_event_program, until=EVENT_PROGRAM_HORIZON
+    )
+    assert observed == reference, f"seed {seed} diverges on {backend}"
+    assert observed["now"] == EVENT_PROGRAM_HORIZON
+    assert observed["pending"] > 0 or observed["events_processed"] > 0
+
+
+@pytest.mark.parametrize("backend", [b for b in BACKEND_NAMES if b != "heap"])
+@pytest.mark.parametrize("seed", range(15))
+def test_extended_surface_matches_heap(seed, backend):
+    """Interrupt/URGENT-heavy programs: alternative backends vs heap."""
+    assert replay_random_graph(backend, seed) == replay_random_graph("heap", seed), (
+        f"seed {seed} diverges on {backend}"
+    )
+
+
+class SortedListQueue:
+    """A third-party backend: only the EventQueue contract, nothing the
+    kernel could special-case — exercises the generic drain loop."""
+
+    def __init__(self):
+        self.items = []
+
+    def push(self, item):
+        insort(self.items, item)
+
+    def pop(self):
+        if not self.items:
+            raise IndexError("pop from an empty event queue")
+        return self.items.pop(0)
+
+    def peek_time(self):
+        return self.items[0][0] if self.items else float("inf")
+
+    def __len__(self):
+        return len(self.items)
+
+
+def test_third_party_backend_through_registry_matches_reference():
+    """An unknown queue type runs through the interface-only drain and
+    must still be bit-identical — the seam's contract for plugins."""
+    register_event_queue("test-sortedlist", lambda spec: SortedListQueue())
+    spec = SimSpec(event_queue="test-sortedlist")
+    for seed in range(6):
+        observed = run_on(lambda: Environment(queue=spec.build_queue()), seed)
+        reference = run_on(RefEnvironment, seed)
+        assert observed == reference, f"seed {seed} diverges on sortedlist"
+
+
+def test_third_party_backend_run_modes():
+    register_event_queue("test-sortedlist", lambda spec: SortedListQueue())
+    spec = SimSpec(event_queue="test-sortedlist")
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env = Environment(queue=spec.build_queue())
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+    done = env.timeout(2.0, value="fired")
+    assert env.run(until=done) == "fired"
+
+    def stopper(env):
+        yield env.timeout(1.0)
+        env.stop("halted")
+
+    env = Environment(queue=spec.build_queue())
+    env.process(stopper(env))
+    assert env.run() == "halted"
+
+    env = Environment(queue=spec.build_queue())
+    with pytest.raises(SimError):
+        env.run(until=env.event())  # queue drains before it ever fires
 
 
 def test_reference_kernel_orders_ties_fifo():

@@ -1,14 +1,16 @@
 """Property-based randomized stress tests for the simulation kernel.
 
 Seeded ``random.Random`` (stdlib only — no hypothesis dependency)
-generates random process graphs of timeouts, shared events, process
-waits, and interrupts, then asserts the kernel's structural invariants:
+drives the shared generators in ``tests/sim/harness.py`` — random
+process graphs of timeouts, shared events, process waits, and
+interrupts — and asserts the kernel's structural invariants under
+every event-queue backend:
 
 * the clock never goes backwards;
 * ties on (time, priority) fire in insertion-sequence (FIFO) order;
 * every callback of every processed event runs exactly once, and
   callbacks of never-triggered events never run;
-* ``events_processed`` equals heap pops (pushes minus still-queued).
+* ``events_processed`` equals queue pops (pushes minus still-queued).
 
 Any violation prints the offending seed, so failures reproduce exactly.
 """
@@ -19,118 +21,52 @@ import pytest
 
 from repro.sim import Environment, Interrupt, SimError
 
+from tests.sim.harness import BACKEND_NAMES, build_random_graph, make_env
+
 SEEDS = range(20)
 
 
-class Probe:
-    """Counts invocations of one watched callback and logs the clock."""
-
-    def __init__(self, clock_log: list):
-        self.calls = 0
-        self.clock_log = clock_log
-
-    def __call__(self, event) -> None:
-        self.calls += 1
-        self.clock_log.append(event.env.now)
-
-
-def build_random_graph(env: Environment, rng: random.Random, clock_log: list):
-    """Spawn a random tangle of processes; returns the probed events."""
-    probed: list = []
-    shared = []
-    for _ in range(rng.randint(1, 4)):
-        event = env.event()
-        probe = Probe(clock_log)
-        event.callbacks.append(probe)
-        probed.append((event, probe))
-        shared.append(event)
-    processes = []
-    started: list = []  # only started processes are interrupt targets:
-    # throwing into a generator that never reached its first yield
-    # (kernel semantics) aborts it at the function header.
-
-    def worker(env, stream, my_index):
-        started.append(processes[my_index])
-        for step in range(stream.randint(1, 6)):
-            roll = stream.random()
-            try:
-                if roll < 0.55:
-                    yield env.timeout(round(stream.uniform(0.0, 8.0), 3))
-                elif roll < 0.7:
-                    event = stream.choice(shared)
-                    if not event.triggered:
-                        event.succeed(value=(my_index, step))
-                    yield env.timeout(round(stream.uniform(0.0, 2.0), 3))
-                elif roll < 0.85 and started:
-                    target = stream.choice(started)
-                    if target.is_alive and target is not processes[my_index]:
-                        target.interrupt(cause=my_index)
-                    yield env.timeout(round(stream.uniform(0.0, 2.0), 3))
-                else:
-                    child = env.process(
-                        sleeper(env, round(stream.uniform(0.0, 3.0), 3))
-                    )
-                    yield child
-            except Interrupt:
-                continue
-        return my_index
-
-    def sleeper(env, delay):
-        yield env.timeout(delay)
-        return delay
-
-    for index in range(rng.randint(3, 10)):
-        stream = random.Random(rng.getrandbits(64))
-        process = env.process(worker(env, stream, index), name=f"worker-{index}")
-        probe = Probe(clock_log)
-        process.callbacks.append(probe)
-        probed.append((process, probe))
-        processes.append(process)
-
-    # A crowd of probed timeouts at identical timestamps exercises the
-    # (time, priority, seq) tie-break alongside everything else.
-    tie_time = round(rng.uniform(0.0, 5.0), 3)
-    for _ in range(rng.randint(2, 6)):
-        timeout = env.timeout(tie_time)
-        probe = Probe(clock_log)
-        timeout.callbacks.append(probe)
-        probed.append((timeout, probe))
-    return probed
-
-
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_random_graph_invariants(seed):
+def test_random_graph_invariants(seed, backend):
     rng = random.Random(seed)
-    env = Environment()
+    env = make_env(backend)
     clock_log: list = []
     probed = build_random_graph(env, rng, clock_log)
     env.run()
 
     # Clock monotonicity, as observed by every watched callback.
-    assert clock_log == sorted(clock_log), f"clock went backwards (seed {seed})"
+    assert clock_log == sorted(clock_log), (
+        f"clock went backwards (seed {seed}, backend {backend})"
+    )
 
     # No callback lost or doubled.
     for event, probe in probed:
         if event.processed:
-            assert probe.calls == 1, f"callback ran {probe.calls}x (seed {seed})"
+            assert probe.calls == 1, (
+                f"callback ran {probe.calls}x (seed {seed}, backend {backend})"
+            )
         else:
-            assert probe.calls == 0, f"callback of pending event ran (seed {seed})"
+            assert probe.calls == 0, (
+                f"callback of pending event ran (seed {seed}, backend {backend})"
+            )
 
     # Conservation: every push is either popped (counted) or still queued.
     assert env.events_processed == env._seq - len(env._queue), (
         f"events_processed {env.events_processed} != pops "
-        f"{env._seq - len(env._queue)} (seed {seed})"
+        f"{env._seq - len(env._queue)} (seed {seed}, backend {backend})"
     )
     assert env.events_processed > 0
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_same_seed_same_execution(seed):
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(8))
+def test_same_seed_same_execution(seed, backend):
     """The randomized graph itself must replay bit-identically."""
 
     def one_run():
         rng = random.Random(seed)
-        env = Environment()
+        env = make_env(backend)
         clock_log: list = []
         build_random_graph(env, rng, clock_log)
         env.run()
@@ -139,9 +75,10 @@ def test_same_seed_same_execution(seed):
     assert one_run() == one_run()
 
 
-def test_fifo_tie_break_order_exhaustive():
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_fifo_tie_break_order_exhaustive(backend):
     """Hundreds of same-timestamp timeouts fire strictly in creation order."""
-    env = Environment()
+    env = make_env(backend)
     fired = []
     for index in range(300):
         timeout = env.timeout(1.0)
@@ -150,9 +87,10 @@ def test_fifo_tie_break_order_exhaustive():
     assert fired == list(range(300))
 
 
-def test_urgent_beats_normal_at_same_timestamp():
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_urgent_beats_normal_at_same_timestamp(backend):
     """Interrupt delivery (URGENT) preempts same-time NORMAL events."""
-    env = Environment()
+    env = make_env(backend)
     order = []
 
     def sleeper(env):
